@@ -1,0 +1,102 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (Sec. 7) on the simulated hardware model.
+//
+// Usage:
+//
+//	experiments -table 1            # hardware parameters (Table 1)
+//	experiments -table 2            # benchmark suite and zone sizes (Table 2)
+//	experiments -table 3            # main results (Table 3)
+//	experiments -table 3 -summary   # plus the Sec. 7.2 aggregate claims
+//	experiments -figure 6a          # fidelity ablation, QAOA-regular3
+//	experiments -figure 6b..6e      # remaining Fig. 6 panels
+//	experiments -figure 7           # multi-AOD sweep
+//	experiments -all                # everything, in paper order
+//	experiments -csv                # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powermove/internal/experiments"
+	"powermove/internal/report"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "regenerate a table: 1, 2, or 3")
+		figure  = flag.String("figure", "", "regenerate a figure: 6a, 6b, 6c, 6d, 6e, or 7")
+		summary = flag.Bool("summary", false, "with -table 3: also print the Sec. 7.2 aggregate claims")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if !*all && *table == "" && *figure == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	if *all || *table == "1" {
+		emit(experiments.Table1())
+	}
+	if *all || *table == "2" {
+		emit(experiments.Table2())
+	}
+	if *all || *table == "3" {
+		t, rows, err := experiments.Table3()
+		fail(err)
+		emit(t)
+		if *all || *summary {
+			emit(experiments.Summary(rows))
+		}
+	}
+	figures := map[string]experiments.Family{
+		"6a": experiments.QAOARegular3,
+		"6b": experiments.QSim,
+		"6c": experiments.QFT,
+		"6d": experiments.VQE,
+		"6e": experiments.BV,
+	}
+	if *all {
+		for _, panel := range []string{"6a", "6b", "6c", "6d", "6e"} {
+			runFigure6(figures[panel], emit)
+		}
+		runFigure7(emit)
+		return
+	}
+	if fam, ok := figures[*figure]; ok {
+		runFigure6(fam, emit)
+	} else if *figure == "7" {
+		runFigure7(emit)
+	} else if *figure != "" {
+		fail(fmt.Errorf("unknown figure %q", *figure))
+	}
+}
+
+func runFigure6(fam experiments.Family, emit func(*report.Table)) {
+	points, err := experiments.Figure6(fam)
+	fail(err)
+	emit(experiments.Figure6Table(fam, points))
+}
+
+func runFigure7(emit func(*report.Table)) {
+	points, err := experiments.Figure7()
+	fail(err)
+	emit(experiments.Figure7Table(points))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+// Command powermove compiles a quantum circuit for a zoned neutral-atom
+// machine and reports the compiled schedule and its simulated metrics.
+//
+// Input is either an OpenQASM 2.0 file or a generated benchmark:
+//
+//	powermove -qasm circuit.qasm
+//	powermove -bench QAOA-regular3 -n 30
+//
+// Flags select the pipeline mode (-storage), AOD count (-aods), a baseline
+// comparison (-baseline), and a full instruction listing (-disasm).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powermove"
+)
+
+func main() {
+	var (
+		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 file to compile")
+		bench    = flag.String("bench", "", "benchmark family to generate: QAOA-regular3, QAOA-regular4, QAOA-random, QFT, BV, VQE, QSIM-rand")
+		n        = flag.Int("n", 30, "qubit count for -bench")
+		seed     = flag.Int64("seed", 42, "seed for randomized benchmarks")
+		storage  = flag.Bool("storage", true, "use the storage zone (full zoned pipeline)")
+		aods     = flag.Int("aods", 1, "number of AOD arrays")
+		baseline = flag.Bool("baseline", false, "also compile with the Enola baseline and compare")
+		disasm   = flag.Bool("disasm", false, "print the compiled instruction stream")
+		traceOut = flag.Bool("trace", false, "print the execution timeline as an ASCII Gantt chart")
+		layouts  = flag.Bool("layouts", false, "print the initial and final qubit layouts")
+	)
+	flag.Parse()
+
+	circ, err := loadCircuit(*qasmPath, *bench, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	hw := powermove.DefaultArch(circ.Qubits, *aods)
+	fmt.Printf("circuit:  %s\n", circ)
+	fmt.Printf("hardware: %s\n", hw)
+
+	run, err := powermove.CompileAndRun(circ, hw, powermove.Options{UseStorage: *storage})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\npowermove (storage=%v, %d AOD):\n", *storage, *aods)
+	printRun(run)
+	if *disasm {
+		fmt.Println()
+		fmt.Print(run.Compile.Program.Disassemble())
+	}
+	if *traceOut {
+		_, tr, err := powermove.ExecuteWithTrace(run.Compile.Program, run.Compile.Initial)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		fmt.Print(tr.Gantt(100))
+	}
+	if *layouts {
+		fmt.Println("\ninitial layout:")
+		fmt.Print(powermove.RenderLayout(run.Compile.Initial))
+		fmt.Println("\nfinal layout:")
+		fmt.Print(powermove.RenderLayout(run.Execution.Final))
+	}
+
+	if *baseline {
+		base, err := powermove.CompileEnola(circ, powermove.DefaultArch(circ.Qubits, 1), powermove.EnolaOptions{Seed: 1})
+		if err != nil {
+			fail(err)
+		}
+		exec, err := powermove.Execute(base.Program, base.Initial)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nenola baseline:\n")
+		fmt.Printf("  fidelity: %.6g   (%s)\n", exec.Fidelity, exec.Components)
+		fmt.Printf("  t_exe:    %.1f us   t_comp: %s   stages: %d\n",
+			exec.Time, base.Stats.CompileTime, exec.Stages)
+		fmt.Printf("\ncomparison: fidelity %.2fx, execution time %.2fx\n",
+			run.Execution.Fidelity/exec.Fidelity, exec.Time/run.Execution.Time)
+	}
+}
+
+func loadCircuit(qasmPath, bench string, n int, seed int64) (*powermove.Circuit, error) {
+	switch {
+	case qasmPath != "" && bench != "":
+		return nil, fmt.Errorf("specify only one of -qasm and -bench")
+	case qasmPath != "":
+		src, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, err
+		}
+		return powermove.ParseQASM(qasmPath, string(src))
+	case bench != "":
+		switch bench {
+		case "QAOA-regular3":
+			return powermove.QAOARegular(n, 3, seed), nil
+		case "QAOA-regular4":
+			return powermove.QAOARegular(n, 4, seed), nil
+		case "QAOA-random":
+			return powermove.QAOARandom(n, seed), nil
+		case "QFT":
+			return powermove.QFT(n), nil
+		case "BV":
+			return powermove.BV(n, seed), nil
+		case "VQE":
+			return powermove.VQE(n), nil
+		case "QSIM-rand":
+			return powermove.QSim(n, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown benchmark family %q", bench)
+		}
+	default:
+		return nil, fmt.Errorf("specify -qasm or -bench (see -help)")
+	}
+}
+
+func printRun(run *powermove.RunResult) {
+	exec := run.Execution
+	st := run.Compile.Stats
+	fmt.Printf("  fidelity: %.6g   (%s)\n", exec.Fidelity, exec.Components)
+	fmt.Printf("  t_exe:    %.1f us  (1q %.1f, move %.1f, transfer %.1f, rydberg %.2f)\n",
+		exec.Time, exec.Breakdown.OneQ, exec.Breakdown.Move, exec.Breakdown.Transfer, exec.Breakdown.Rydberg)
+	fmt.Printf("  t_comp:   %s\n", st.CompileTime)
+	fmt.Printf("  schedule: %d blocks, %d stages, %d moves, %d coll-moves, %d batches\n",
+		st.Blocks, st.Stages, st.Moves, st.CollMoves, st.Batches)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powermove:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Multi-AOD parallelism study (Fig. 7 of the paper): sweeping the number
+// of independent AOD arrays on a movement-heavy workload. Coll-Moves that
+// conflict within one AOD can run simultaneously on distinct arrays, so
+// execution time drops and — because layout transitions shorten — so does
+// decoherence.
+//
+//	go run ./examples/multi_aod
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powermove"
+)
+
+func main() {
+	circ := powermove.QAOARegular(100, 3, 7)
+	fmt.Printf("workload: %s, zoned pipeline\n\n", circ)
+	fmt.Printf("%5s  %11s  %10s  %12s\n", "AODs", "t_exe (us)", "fidelity", "decoherence")
+
+	var base float64
+	for aods := 1; aods <= 4; aods++ {
+		hw := powermove.DefaultArch(circ.Qubits, aods)
+		run, err := powermove.CompileAndRun(circ, hw, powermove.Options{UseStorage: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		exec := run.Execution
+		if aods == 1 {
+			base = exec.Time
+		}
+		fmt.Printf("%5d  %11.1f  %10.4f  %12.4f   (%.2fx faster)\n",
+			aods, exec.Time, exec.Fidelity, exec.Components.Decoherence, base/exec.Time)
+	}
+
+	fmt.Println("\nEven a second AOD array absorbs most sequential Coll-Moves;")
+	fmt.Println("returns diminish once batches are no longer the bottleneck.")
+}

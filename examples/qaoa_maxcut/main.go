@@ -1,0 +1,55 @@
+// QAOA MaxCut scaling study: the workload the paper's introduction
+// motivates. Compiles depth-1 QAOA circuits on random 3-regular graphs of
+// growing size with the Enola baseline and with PowerMove (both modes),
+// and prints how fidelity and execution time scale.
+//
+//	go run ./examples/qaoa_maxcut
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powermove"
+)
+
+func main() {
+	fmt.Println("QAOA MaxCut on random 3-regular graphs (depth 1)")
+	fmt.Printf("%6s  %22s  %22s  %22s\n", "", "enola", "powermove non-storage", "powermove with-storage")
+	fmt.Printf("%6s  %10s %11s  %10s %11s  %10s %11s\n",
+		"qubits", "fidelity", "t_exe (us)", "fidelity", "t_exe (us)", "fidelity", "t_exe (us)")
+
+	for _, n := range []int{20, 40, 60, 80, 100} {
+		circ := powermove.QAOARegular(n, 3, int64(n))
+		hw := powermove.DefaultArch(n, 1)
+
+		base, err := powermove.CompileEnola(circ, hw, powermove.EnolaOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseExec, err := powermove.Execute(base.Program, base.Initial)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		flat, err := powermove.CompileAndRun(circ, hw, powermove.Options{UseStorage: false})
+		if err != nil {
+			log.Fatal(err)
+		}
+		zoned, err := powermove.CompileAndRun(circ, hw, powermove.Options{UseStorage: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%6d  %10.4f %11.1f  %10.4f %11.1f  %10.4f %11.1f\n",
+			n,
+			baseExec.Fidelity, baseExec.Time,
+			flat.Execution.Fidelity, flat.Execution.Time,
+			zoned.Execution.Fidelity, zoned.Execution.Time)
+	}
+
+	fmt.Println("\nThe baseline reverts every qubit to its home site after each")
+	fmt.Println("Rydberg stage; PowerMove's continuous router transitions the")
+	fmt.Println("layout directly, and the storage zone removes excitation error,")
+	fmt.Println("so the fidelity gap widens with qubit count.")
+}

@@ -1,0 +1,49 @@
+// Storage-zone ablation on Bernstein-Vazirani, the workload where the
+// zoned architecture matters most: every CZ touches the shared ancilla,
+// so the circuit serializes into many single-gate Rydberg stages and every
+// idle qubit left in the computation zone pays excitation error at every
+// pulse. Parking idle qubits in the storage zone removes that error class
+// entirely (the excitation component pins to 1.0).
+//
+//	go run ./examples/zoned_storage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powermove"
+)
+
+func main() {
+	fmt.Println("Bernstein-Vazirani: computation-zone-only vs zoned pipeline")
+	fmt.Printf("%6s  %8s  %28s  %28s\n", "", "", "non-storage", "with-storage")
+	fmt.Printf("%6s  %8s  %9s %9s %8s  %9s %9s %8s\n",
+		"qubits", "stages", "fidelity", "excit.", "decoh.", "fidelity", "excit.", "decoh.")
+
+	for _, n := range []int{14, 30, 50, 70} {
+		circ := powermove.BV(n, int64(n))
+		hw := powermove.DefaultArch(n, 1)
+
+		flat, err := powermove.CompileAndRun(circ, hw, powermove.Options{UseStorage: false})
+		if err != nil {
+			log.Fatal(err)
+		}
+		zoned, err := powermove.CompileAndRun(circ, hw, powermove.Options{UseStorage: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fe, fz := flat.Execution, zoned.Execution
+		fmt.Printf("%6d  %8d  %9.2g %9.2g %8.3f  %9.2g %9.2g %8.3f\n",
+			n, fe.Stages,
+			fe.Fidelity, fe.Components.Excitation, fe.Components.Decoherence,
+			fz.Fidelity, fz.Components.Excitation, fz.Components.Decoherence)
+	}
+
+	fmt.Println("\nWith storage, the excitation component is exactly 1.0: no idle")
+	fmt.Println("qubit ever sits in the computation zone during a Rydberg pulse.")
+	fmt.Println("The inter-zone movement this costs is scheduled move-ins-first")
+	fmt.Println("(Sec. 6.1), so dwell time in storage — where decoherence is")
+	fmt.Println("negligible — is maximized.")
+}

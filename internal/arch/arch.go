@@ -1,0 +1,272 @@
+// Package arch models the zoned neutral-atom hardware the compiler targets:
+// a computation zone and a storage zone, each a 2D grid of trap sites, plus
+// the AOD resources available for collective movement (Sec. 2.1 and
+// Sec. 7.1 of the paper).
+//
+// The default configuration follows Table 2 of the paper: for an n-qubit
+// program with C = ceil(sqrt(n)), the computation zone is a C x C site
+// grid, the storage zone is a 2C x C grid placed below it, and the two are
+// separated by a 30 um inter-zone gap. Sites are 15 um apart, so the
+// computation zone measures 15C x 15C um^2 and the storage zone
+// 15C x 30C um^2.
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"powermove/internal/geom"
+	"powermove/internal/phys"
+)
+
+// Zone identifies which functional region of the plane a site belongs to.
+type Zone int
+
+const (
+	// Compute is the computation zone, where the global Rydberg laser
+	// executes CZ gates and exposes idle qubits to excitation error.
+	Compute Zone = iota
+	// Storage is the storage zone, where qubits are shielded from the
+	// Rydberg laser and decoherence is negligible.
+	Storage
+)
+
+// String implements fmt.Stringer.
+func (z Zone) String() string {
+	switch z {
+	case Compute:
+		return "compute"
+	case Storage:
+		return "storage"
+	default:
+		return fmt.Sprintf("zone(%d)", int(z))
+	}
+}
+
+// Site identifies one trap site: a zone plus a (row, col) grid index.
+// Row 0 is the bottom row of its zone; rows grow upward.
+type Site struct {
+	Zone Zone
+	Row  int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	return fmt.Sprintf("%s[%d,%d]", s.Zone, s.Row, s.Col)
+}
+
+// Arch is an immutable description of one hardware instance.
+type Arch struct {
+	// ComputeRows and ComputeCols give the computation-zone grid shape.
+	ComputeRows, ComputeCols int
+	// StorageRows and StorageCols give the storage-zone grid shape.
+	StorageRows, StorageCols int
+	// AODs is the number of independently movable AOD arrays available
+	// for parallel collective moves (Sec. 6.2). At least 1.
+	AODs int
+
+	// computeSites and storageSites cache the row-major site lists;
+	// Sites is on the router's per-stage hot path.
+	computeSites, storageSites []Site
+	// positions caches Pos for every site, indexed by SiteIndex.
+	positions []geom.Point
+}
+
+// Config controls New. The zero value of each field selects the paper's
+// default for that field.
+type Config struct {
+	// Qubits is the program size the hardware must host. Required.
+	Qubits int
+	// AODs is the number of AOD arrays; defaults to 1, the paper's
+	// default configuration.
+	AODs int
+}
+
+// New builds the default architecture of Sec. 7.1 for the given
+// configuration. It panics if the qubit count is not positive.
+func New(cfg Config) *Arch {
+	if cfg.Qubits <= 0 {
+		panic(fmt.Sprintf("arch: non-positive qubit count %d", cfg.Qubits))
+	}
+	aods := cfg.AODs
+	if aods == 0 {
+		aods = 1
+	}
+	if aods < 0 {
+		panic(fmt.Sprintf("arch: negative AOD count %d", aods))
+	}
+	c := int(math.Ceil(math.Sqrt(float64(cfg.Qubits))))
+	a := &Arch{
+		ComputeRows: c,
+		ComputeCols: c,
+		StorageRows: 2 * c,
+		StorageCols: c,
+		AODs:        aods,
+	}
+	a.computeSites = a.buildSites(Compute)
+	a.storageSites = a.buildSites(Storage)
+	a.positions = make([]geom.Point, a.TotalSites())
+	for _, s := range a.computeSites {
+		a.positions[a.SiteIndex(s)] = a.computePos(s)
+	}
+	for _, s := range a.storageSites {
+		a.positions[a.SiteIndex(s)] = a.computePos(s)
+	}
+	return a
+}
+
+// TotalSites returns the number of sites across both zones.
+func (a *Arch) TotalSites() int { return a.ComputeSites() + a.StorageSites() }
+
+// SiteIndex returns a dense index for s in [0, TotalSites()): computation
+// sites in row-major order first, then storage sites. The layout and the
+// router use it to keep occupancy in flat slices instead of maps.
+func (a *Arch) SiteIndex(s Site) int {
+	if !a.InBounds(s) {
+		panic(fmt.Sprintf("arch: site %v out of bounds", s))
+	}
+	if s.Zone == Compute {
+		return s.Row*a.ComputeCols + s.Col
+	}
+	return a.ComputeSites() + s.Row*a.StorageCols + s.Col
+}
+
+// SiteAt inverts SiteIndex.
+func (a *Arch) SiteAt(idx int) Site {
+	if idx < 0 || idx >= a.TotalSites() {
+		panic(fmt.Sprintf("arch: site index %d out of range [0, %d)", idx, a.TotalSites()))
+	}
+	if idx < a.ComputeSites() {
+		return Site{Zone: Compute, Row: idx / a.ComputeCols, Col: idx % a.ComputeCols}
+	}
+	idx -= a.ComputeSites()
+	return Site{Zone: Storage, Row: idx / a.StorageCols, Col: idx % a.StorageCols}
+}
+
+// ComputeSites returns the number of sites in the computation zone.
+func (a *Arch) ComputeSites() int { return a.ComputeRows * a.ComputeCols }
+
+// StorageSites returns the number of sites in the storage zone.
+func (a *Arch) StorageSites() int { return a.StorageRows * a.StorageCols }
+
+// InBounds reports whether s is a valid site of this architecture.
+func (a *Arch) InBounds(s Site) bool {
+	switch s.Zone {
+	case Compute:
+		return s.Row >= 0 && s.Row < a.ComputeRows && s.Col >= 0 && s.Col < a.ComputeCols
+	case Storage:
+		return s.Row >= 0 && s.Row < a.StorageRows && s.Col >= 0 && s.Col < a.StorageCols
+	default:
+		return false
+	}
+}
+
+// storageTopY returns the y coordinate of the highest storage row.
+func (a *Arch) storageTopY() float64 {
+	return float64(a.StorageRows-1) * phys.SitePitch
+}
+
+// computeBaseY returns the y coordinate of the lowest computation row. The
+// two zones are separated by the ZoneGap of Sec. 5.1.
+func (a *Arch) computeBaseY() float64 {
+	return a.storageTopY() + phys.ZoneGap
+}
+
+// Pos returns the physical position of site s, in micrometres. The storage
+// grid starts at the origin; the computation grid sits above it across the
+// inter-zone gap.
+func (a *Arch) Pos(s Site) geom.Point {
+	if a.positions != nil {
+		return a.positions[a.SiteIndex(s)]
+	}
+	return a.computePos(s)
+}
+
+func (a *Arch) computePos(s Site) geom.Point {
+	if !a.InBounds(s) {
+		panic(fmt.Sprintf("arch: site %v out of bounds", s))
+	}
+	x := float64(s.Col) * phys.SitePitch
+	switch s.Zone {
+	case Compute:
+		return geom.Pt(x, a.computeBaseY()+float64(s.Row)*phys.SitePitch)
+	default:
+		return geom.Pt(x, float64(s.Row)*phys.SitePitch)
+	}
+}
+
+// ZoneRect returns the bounding rectangle of a zone's site grid, measured
+// in full site cells (one pitch per row/column), matching the zone sizes
+// reported in Table 2 of the paper.
+func (a *Arch) ZoneRect(z Zone) geom.Rect {
+	switch z {
+	case Compute:
+		base := a.computeBaseY()
+		return geom.NewRect(
+			geom.Pt(0, base),
+			geom.Pt(float64(a.ComputeCols)*phys.SitePitch, base+float64(a.ComputeRows)*phys.SitePitch),
+		)
+	case Storage:
+		return geom.NewRect(
+			geom.Pt(0, 0),
+			geom.Pt(float64(a.StorageCols)*phys.SitePitch, float64(a.StorageRows)*phys.SitePitch),
+		)
+	default:
+		panic(fmt.Sprintf("arch: unknown zone %v", z))
+	}
+}
+
+// InterZoneRect returns the rectangle of the empty band separating the two
+// zones (the "Inter Zone" column of Table 2).
+func (a *Arch) InterZoneRect() geom.Rect {
+	top := a.storageTopY() + phys.SitePitch
+	return geom.NewRect(
+		geom.Pt(0, top),
+		geom.Pt(float64(a.StorageCols)*phys.SitePitch, top+phys.ZoneGap),
+	)
+}
+
+// Sites returns every site of zone z in row-major order (row 0 first).
+// The returned slice is shared and must not be mutated.
+func (a *Arch) Sites(z Zone) []Site {
+	switch z {
+	case Compute:
+		if a.computeSites == nil {
+			a.computeSites = a.buildSites(Compute)
+		}
+		return a.computeSites
+	case Storage:
+		if a.storageSites == nil {
+			a.storageSites = a.buildSites(Storage)
+		}
+		return a.storageSites
+	default:
+		panic(fmt.Sprintf("arch: unknown zone %v", z))
+	}
+}
+
+func (a *Arch) buildSites(z Zone) []Site {
+	var rows, cols int
+	if z == Compute {
+		rows, cols = a.ComputeRows, a.ComputeCols
+	} else {
+		rows, cols = a.StorageRows, a.StorageCols
+	}
+	out := make([]Site, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, Site{Zone: z, Row: r, Col: c})
+		}
+	}
+	return out
+}
+
+// String summarizes the architecture in the format of Table 2.
+func (a *Arch) String() string {
+	cz := a.ZoneRect(Compute)
+	iz := a.InterZoneRect()
+	sz := a.ZoneRect(Storage)
+	return fmt.Sprintf("compute %.0fx%.0f um^2, inter %.0fx%.0f um^2, storage %.0fx%.0f um^2, %d AOD(s)",
+		cz.Width(), cz.Height(), iz.Width(), iz.Height(), sz.Width(), sz.Height(), a.AODs)
+}

@@ -1,0 +1,223 @@
+package arch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powermove/internal/phys"
+)
+
+func TestNewDefaultGeometry(t *testing.T) {
+	a := New(Config{Qubits: 30})
+	if a.ComputeRows != 6 || a.ComputeCols != 6 {
+		t.Errorf("compute grid = %dx%d, want 6x6", a.ComputeRows, a.ComputeCols)
+	}
+	if a.StorageRows != 12 || a.StorageCols != 6 {
+		t.Errorf("storage grid = %dx%d, want 12x6", a.StorageRows, a.StorageCols)
+	}
+	if a.AODs != 1 {
+		t.Errorf("default AODs = %d, want 1", a.AODs)
+	}
+	if a.ComputeSites() != 36 || a.StorageSites() != 72 || a.TotalSites() != 108 {
+		t.Error("site counts wrong")
+	}
+}
+
+// TestTable2ZoneSizes reproduces the zone-size columns of Table 2 of the
+// paper for every benchmark size (experiment E2): compute
+// 15C x 15C um^2, inter-zone 15C x 30 um^2, storage 15C x 30C um^2 with
+// C = ceil(sqrt(n)).
+func TestTable2ZoneSizes(t *testing.T) {
+	cases := []struct {
+		n                 int
+		compute, storageH float64 // side of compute zone; height of storage
+	}{
+		{30, 90, 180},
+		{40, 105, 210},
+		{50, 120, 240},
+		{60, 120, 240},
+		{80, 135, 270},
+		{100, 150, 300},
+		{20, 75, 150},
+		{18, 75, 150},
+		{29, 90, 180},
+		{14, 60, 120},
+		{10, 60, 120},
+	}
+	for _, tc := range cases {
+		a := New(Config{Qubits: tc.n})
+		cz := a.ZoneRect(Compute)
+		iz := a.InterZoneRect()
+		sz := a.ZoneRect(Storage)
+		if cz.Width() != tc.compute || cz.Height() != tc.compute {
+			t.Errorf("n=%d: compute zone %vx%v, want %vx%v", tc.n, cz.Width(), cz.Height(), tc.compute, tc.compute)
+		}
+		if iz.Width() != tc.compute || iz.Height() != phys.ZoneGap {
+			t.Errorf("n=%d: inter zone %vx%v, want %vx%v", tc.n, iz.Width(), iz.Height(), tc.compute, phys.ZoneGap)
+		}
+		if sz.Width() != tc.compute || sz.Height() != tc.storageH {
+			t.Errorf("n=%d: storage zone %vx%v, want %vx%v", tc.n, sz.Width(), sz.Height(), tc.compute, tc.storageH)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero qubits":   {Qubits: 0},
+		"negative AODs": {Qubits: 4, AODs: -1},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		})
+	}
+}
+
+func TestInBounds(t *testing.T) {
+	a := New(Config{Qubits: 9}) // 3x3 compute, 6x3 storage
+	good := []Site{
+		{Compute, 0, 0}, {Compute, 2, 2}, {Storage, 0, 0}, {Storage, 5, 2},
+	}
+	for _, s := range good {
+		if !a.InBounds(s) {
+			t.Errorf("InBounds(%v) = false", s)
+		}
+	}
+	bad := []Site{
+		{Compute, 3, 0}, {Compute, 0, 3}, {Compute, -1, 0},
+		{Storage, 6, 0}, {Storage, 0, -1}, {Zone(9), 0, 0},
+	}
+	for _, s := range bad {
+		if a.InBounds(s) {
+			t.Errorf("InBounds(%v) = true", s)
+		}
+	}
+}
+
+// TestZoneSeparation: the nearest compute and storage sites are exactly
+// one ZoneGap apart vertically, and zone rectangles do not overlap.
+func TestZoneSeparation(t *testing.T) {
+	a := New(Config{Qubits: 16})
+	topStorage := a.Pos(Site{Storage, a.StorageRows - 1, 0})
+	bottomCompute := a.Pos(Site{Compute, 0, 0})
+	if gap := bottomCompute.Y - topStorage.Y; gap != phys.ZoneGap {
+		t.Errorf("vertical gap = %v, want %v", gap, phys.ZoneGap)
+	}
+	if a.ZoneRect(Compute).Intersects(a.ZoneRect(Storage)) {
+		t.Error("zone rectangles overlap")
+	}
+}
+
+// TestSitePitch: adjacent sites in either zone are one pitch apart.
+func TestSitePitch(t *testing.T) {
+	a := New(Config{Qubits: 25})
+	right := a.Pos(Site{Compute, 0, 1}).Sub(a.Pos(Site{Compute, 0, 0}))
+	up := a.Pos(Site{Compute, 1, 0}).Sub(a.Pos(Site{Compute, 0, 0}))
+	if right.X != phys.SitePitch || right.Y != 0 {
+		t.Errorf("column step = %v", right)
+	}
+	if up.X != 0 || up.Y != phys.SitePitch {
+		t.Errorf("row step = %v", up)
+	}
+	sRight := a.Pos(Site{Storage, 0, 1}).Sub(a.Pos(Site{Storage, 0, 0}))
+	if sRight.X != phys.SitePitch {
+		t.Errorf("storage column step = %v", sRight)
+	}
+}
+
+// TestSiteIndexRoundTrip: SiteAt inverts SiteIndex over every site, and
+// indices are dense and unique.
+func TestSiteIndexRoundTrip(t *testing.T) {
+	a := New(Config{Qubits: 23})
+	seen := make([]bool, a.TotalSites())
+	for _, z := range []Zone{Compute, Storage} {
+		for _, s := range a.Sites(z) {
+			idx := a.SiteIndex(s)
+			if idx < 0 || idx >= a.TotalSites() {
+				t.Fatalf("index %d out of range for %v", idx, s)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate index %d", idx)
+			}
+			seen[idx] = true
+			if back := a.SiteAt(idx); back != s {
+				t.Fatalf("SiteAt(SiteIndex(%v)) = %v", s, back)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d unused — indices not dense", i)
+		}
+	}
+}
+
+func TestSiteIndexPanics(t *testing.T) {
+	a := New(Config{Qubits: 4})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SiteIndex(out of bounds) did not panic")
+			}
+		}()
+		a.SiteIndex(Site{Compute, 9, 9})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SiteAt(out of range) did not panic")
+			}
+		}()
+		a.SiteAt(a.TotalSites())
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Pos(out of bounds) did not panic")
+			}
+		}()
+		a.Pos(Site{Storage, -1, 0})
+	}()
+}
+
+// TestSitesRowMajor: Sites enumerates row 0 first, columns ascending.
+func TestSitesRowMajor(t *testing.T) {
+	a := New(Config{Qubits: 9})
+	sites := a.Sites(Compute)
+	if len(sites) != 9 {
+		t.Fatalf("len(Sites) = %d, want 9", len(sites))
+	}
+	if sites[0] != (Site{Compute, 0, 0}) || sites[1] != (Site{Compute, 0, 1}) || sites[3] != (Site{Compute, 1, 0}) {
+		t.Errorf("Sites not row-major: %v", sites[:4])
+	}
+}
+
+// TestCeilSqrtScaling drives the C = ceil(sqrt(n)) rule through quick.
+func TestCeilSqrtScaling(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 1 + int(raw%200)
+		a := New(Config{Qubits: n})
+		c := int(math.Ceil(math.Sqrt(float64(n))))
+		return a.ComputeRows == c && a.ComputeCols == c &&
+			a.StorageRows == 2*c && a.StorageCols == c &&
+			a.ComputeSites() >= n && a.StorageSites() >= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	if Compute.String() != "compute" || Storage.String() != "storage" {
+		t.Error("Zone.String wrong")
+	}
+	if (Site{Storage, 2, 3}).String() != "storage[2,3]" {
+		t.Errorf("Site.String = %q", Site{Storage, 2, 3})
+	}
+}

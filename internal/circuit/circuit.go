@@ -1,0 +1,199 @@
+// Package circuit defines the intermediate representation that the
+// PowerMove compiler consumes: a quantum circuit synthesized into
+// alternating layers of single-qubit gates and blocks of commutable CZ
+// gates (Sec. 2.2 of the paper).
+//
+// Single-qubit layers execute in parallel across the whole plane and need
+// no routing, so the IR only records how many 1Q gates each layer applies.
+// CZ blocks carry the full gate list; gates within one block commute and
+// may be partitioned into parallel Rydberg stages by the stage scheduler,
+// while distinct blocks are dependent and must execute in order.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CZ is a two-qubit controlled-Z gate between qubits A and B. CZ is
+// symmetric, so the constructor normalizes A < B; two CZ values are equal
+// exactly when they act on the same qubit pair.
+type CZ struct {
+	A, B int
+}
+
+// NewCZ returns the normalized CZ gate on qubits a and b.
+// It panics if a == b or either index is negative, because such a gate can
+// never be part of a well-formed circuit.
+func NewCZ(a, b int) CZ {
+	if a == b {
+		panic(fmt.Sprintf("circuit: CZ on identical qubits %d", a))
+	}
+	if a < 0 || b < 0 {
+		panic(fmt.Sprintf("circuit: CZ on negative qubit (%d, %d)", a, b))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return CZ{A: a, B: b}
+}
+
+// Other returns the partner of qubit q in the gate.
+// It panics if q is not acted on by the gate.
+func (g CZ) Other(q int) int {
+	switch q {
+	case g.A:
+		return g.B
+	case g.B:
+		return g.A
+	default:
+		panic(fmt.Sprintf("circuit: qubit %d not in gate %v", q, g))
+	}
+}
+
+// Acts reports whether the gate acts on qubit q.
+func (g CZ) Acts(q int) bool { return g.A == q || g.B == q }
+
+// Overlaps reports whether g and h share at least one qubit. Overlapping
+// gates cannot execute in the same Rydberg stage.
+func (g CZ) Overlaps(h CZ) bool {
+	return g.A == h.A || g.A == h.B || g.B == h.A || g.B == h.B
+}
+
+// String implements fmt.Stringer.
+func (g CZ) String() string { return fmt.Sprintf("CZ(%d,%d)", g.A, g.B) }
+
+// Block is one dependent CZ block: a set of commutable CZ gates preceded by
+// a layer of OneQ single-qubit gates. Blocks execute in circuit order;
+// gates inside a block may be reordered and parallelized freely.
+type Block struct {
+	// OneQ is the number of single-qubit gates in the layer that
+	// precedes the block's CZ gates. It contributes only the f1^g1 term
+	// of the fidelity formula and a 1 us layer duration when positive.
+	OneQ int
+	// Gates are the commutable CZ gates of the block.
+	Gates []CZ
+}
+
+// Qubits returns the sorted set of qubits the block's CZ gates act on.
+func (b *Block) Qubits() []int {
+	seen := make(map[int]bool, 2*len(b.Gates))
+	for _, g := range b.Gates {
+		seen[g.A] = true
+		seen[g.B] = true
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Circuit is a full program in the synthesized form the compiler consumes.
+type Circuit struct {
+	// Name identifies the workload (for example "QAOA-regular3-30").
+	Name string
+	// Qubits is the number of program qubits; gates may only reference
+	// indices in [0, Qubits).
+	Qubits int
+	// Blocks are the dependent CZ blocks in execution order.
+	Blocks []Block
+}
+
+// New returns an empty circuit on n qubits.
+// It panics if n is not positive.
+func New(name string, n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: non-positive qubit count %d", n))
+	}
+	return &Circuit{Name: name, Qubits: n}
+}
+
+// AddBlock appends a block with the given 1Q-layer size and CZ gates.
+func (c *Circuit) AddBlock(oneQ int, gates ...CZ) {
+	c.Blocks = append(c.Blocks, Block{OneQ: oneQ, Gates: gates})
+}
+
+// CZCount returns the total number of CZ gates in the circuit (the g2
+// exponent of the output-fidelity formula).
+func (c *Circuit) CZCount() int {
+	n := 0
+	for i := range c.Blocks {
+		n += len(c.Blocks[i].Gates)
+	}
+	return n
+}
+
+// OneQCount returns the total number of single-qubit gates (the g1
+// exponent of the output-fidelity formula).
+func (c *Circuit) OneQCount() int {
+	n := 0
+	for i := range c.Blocks {
+		n += c.Blocks[i].OneQ
+	}
+	return n
+}
+
+// MaxDegree returns, over all blocks, the maximum number of CZ gates any
+// single qubit participates in within one block. It lower-bounds the number
+// of Rydberg stages the block needs.
+func (c *Circuit) MaxDegree() int {
+	max := 0
+	for i := range c.Blocks {
+		deg := make(map[int]int)
+		for _, g := range c.Blocks[i].Gates {
+			deg[g.A]++
+			deg[g.B]++
+			if deg[g.A] > max {
+				max = deg[g.A]
+			}
+			if deg[g.B] > max {
+				max = deg[g.B]
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks the structural invariants of the circuit: every gate
+// references qubits inside [0, Qubits), and no block repeats a gate. It
+// returns the first violation found, or nil.
+func (c *Circuit) Validate() error {
+	if c.Qubits <= 0 {
+		return fmt.Errorf("circuit %q: non-positive qubit count %d", c.Name, c.Qubits)
+	}
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		if b.OneQ < 0 {
+			return fmt.Errorf("circuit %q block %d: negative 1Q gate count %d", c.Name, bi, b.OneQ)
+		}
+		seen := make(map[CZ]bool, len(b.Gates))
+		for _, g := range b.Gates {
+			if g.A < 0 || g.B >= c.Qubits || g.A >= g.B {
+				return fmt.Errorf("circuit %q block %d: gate %v out of range for %d qubits", c.Name, bi, g, c.Qubits)
+			}
+			if seen[g] {
+				return fmt.Errorf("circuit %q block %d: duplicate gate %v", c.Name, bi, g)
+			}
+			seen[g] = true
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, Qubits: c.Qubits, Blocks: make([]Block, len(c.Blocks))}
+	for i := range c.Blocks {
+		out.Blocks[i].OneQ = c.Blocks[i].OneQ
+		out.Blocks[i].Gates = append([]CZ(nil), c.Blocks[i].Gates...)
+	}
+	return out
+}
+
+// String summarizes the circuit without dumping every gate.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s: %d qubits, %d blocks, %d CZ, %d 1Q",
+		c.Name, c.Qubits, len(c.Blocks), c.CZCount(), c.OneQCount())
+}

@@ -1,0 +1,196 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCZNormalizes(t *testing.T) {
+	g := NewCZ(5, 2)
+	if g.A != 2 || g.B != 5 {
+		t.Fatalf("NewCZ(5, 2) = %v, want CZ(2,5)", g)
+	}
+	if NewCZ(2, 5) != g {
+		t.Error("NewCZ is not orientation-independent")
+	}
+}
+
+func TestNewCZPanics(t *testing.T) {
+	for _, pair := range [][2]int{{3, 3}, {-1, 2}, {2, -1}} {
+		pair := pair
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCZ(%d, %d) did not panic", pair[0], pair[1])
+				}
+			}()
+			NewCZ(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestCZOther(t *testing.T) {
+	g := NewCZ(1, 4)
+	if g.Other(1) != 4 || g.Other(4) != 1 {
+		t.Error("Other returned wrong partner")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other(non-member) did not panic")
+		}
+	}()
+	g.Other(2)
+}
+
+func TestCZActsAndOverlaps(t *testing.T) {
+	g := NewCZ(1, 4)
+	if !g.Acts(1) || !g.Acts(4) || g.Acts(2) {
+		t.Error("Acts wrong")
+	}
+	cases := []struct {
+		h    CZ
+		want bool
+	}{
+		{NewCZ(1, 4), true},
+		{NewCZ(4, 7), true},
+		{NewCZ(0, 1), true},
+		{NewCZ(2, 3), false},
+	}
+	for _, c := range cases {
+		if got := g.Overlaps(c.h); got != c.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", g, c.h, got, c.want)
+		}
+		if got := c.h.Overlaps(g); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v", c.h)
+		}
+	}
+}
+
+// TestOverlapsSymmetric checks symmetry on arbitrary gate pairs.
+func TestOverlapsSymmetric(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		if a == b || c == d {
+			return true
+		}
+		g := NewCZ(int(a), int(b))
+		h := NewCZ(int(c), int(d))
+		return g.Overlaps(h) == h.Overlaps(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockQubits(t *testing.T) {
+	b := Block{Gates: []CZ{NewCZ(4, 1), NewCZ(2, 7)}}
+	got := b.Qubits()
+	want := []int{1, 2, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Qubits() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Qubits() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCircuitCounts(t *testing.T) {
+	c := New("test", 8)
+	c.AddBlock(8, NewCZ(0, 1), NewCZ(2, 3))
+	c.AddBlock(3, NewCZ(0, 2))
+	c.AddBlock(1)
+	if got := c.CZCount(); got != 3 {
+		t.Errorf("CZCount = %d, want 3", got)
+	}
+	if got := c.OneQCount(); got != 12 {
+		t.Errorf("OneQCount = %d, want 12", got)
+	}
+	if got := len(c.Blocks); got != 3 {
+		t.Errorf("blocks = %d, want 3", got)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	c := New("deg", 5)
+	c.AddBlock(0, NewCZ(0, 1), NewCZ(0, 2), NewCZ(0, 3)) // qubit 0 in 3 gates
+	c.AddBlock(0, NewCZ(1, 2))
+	if got := c.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+	if got := New("empty", 2).MaxDegree(); got != 0 {
+		t.Errorf("MaxDegree(empty) = %d, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New("ok", 4)
+	good.AddBlock(4, NewCZ(0, 1), NewCZ(2, 3))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+
+	outOfRange := New("oob", 3)
+	outOfRange.AddBlock(0, NewCZ(1, 5))
+	if err := outOfRange.Validate(); err == nil {
+		t.Error("out-of-range gate accepted")
+	}
+
+	dup := New("dup", 4)
+	dup.AddBlock(0, NewCZ(0, 1), NewCZ(1, 0))
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate gate within a block accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate error = %v, want mention of duplicate", err)
+	}
+
+	negOneQ := New("neg", 2)
+	negOneQ.Blocks = []Block{{OneQ: -1}}
+	if err := negOneQ.Validate(); err == nil {
+		t.Error("negative 1Q count accepted")
+	}
+
+	// Duplicates across different blocks are fine: blocks are
+	// dependent and execute in order.
+	crossDup := New("cross", 4)
+	crossDup.AddBlock(0, NewCZ(0, 1))
+	crossDup.AddBlock(0, NewCZ(0, 1))
+	if err := crossDup.Validate(); err != nil {
+		t.Errorf("cross-block repeat rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnBadQubitCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0 qubits) did not panic")
+		}
+	}()
+	New("bad", 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New("orig", 4)
+	c.AddBlock(2, NewCZ(0, 1))
+	d := c.Clone()
+	d.Blocks[0].Gates[0] = NewCZ(2, 3)
+	d.Blocks[0].OneQ = 99
+	if c.Blocks[0].Gates[0] != NewCZ(0, 1) || c.Blocks[0].OneQ != 2 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New("qft", 4)
+	c.AddBlock(1, NewCZ(0, 1), NewCZ(0, 2))
+	got := c.String()
+	for _, piece := range []string{"qft", "4 qubits", "1 blocks", "2 CZ", "1 1Q"} {
+		if !strings.Contains(got, piece) {
+			t.Errorf("String() = %q, missing %q", got, piece)
+		}
+	}
+	if got := NewCZ(0, 3).String(); got != "CZ(0,3)" {
+		t.Errorf("CZ.String = %q", got)
+	}
+}

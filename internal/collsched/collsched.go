@@ -1,0 +1,66 @@
+// Package collsched implements the Coll-Move Scheduler of Sec. 6 of the
+// paper: the intra-stage scheduler that orders collective moves to
+// maximize qubit dwell time in the storage zone, and the multi-AOD
+// scheduler that batches ordered Coll-Moves across independent AOD arrays
+// for parallel execution.
+package collsched
+
+import (
+	"fmt"
+	"sort"
+
+	"powermove/internal/isa"
+	"powermove/internal/move"
+)
+
+// OrderByStorageFlow implements the intra-stage scheduler (Sec. 6.1): it
+// returns the Coll-Moves sorted in descending order of
+// (move-in count - move-out count) with respect to the storage zone, so
+// moves that bring qubits *into* storage run first and moves that pull
+// qubits *out* run last. Qubits therefore spend the largest possible
+// fraction of the layout transition shielded in storage. The sort is
+// stable, preserving the grouping order for equal keys; the input is not
+// modified.
+func OrderByStorageFlow(groups []move.CollMove) []move.CollMove {
+	out := append([]move.CollMove(nil), groups...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].NetStorageFlow() > out[j].NetStorageFlow()
+	})
+	return out
+}
+
+// Batch implements the multi-AOD scheduler (Sec. 6.2): given the ordered
+// Coll-Moves G'_1..G'_k and n AOD arrays, it forms ceil(k/n) parallel
+// batches {G'_1..G'_n}, {G'_{n+1}..G'_{2n}}, ... Each batch executes its
+// groups simultaneously on distinct AODs; the batch's duration is one
+// transfer overhead plus the slowest member's movement time. Moves on
+// distinct AODs may conflict under the single-AOD predicate, because
+// separate arrays operate independently.
+//
+// It panics if aods is not positive.
+func Batch(groups []move.CollMove, aods int) []isa.MoveBatch {
+	if aods <= 0 {
+		panic(fmt.Sprintf("collsched: non-positive AOD count %d", aods))
+	}
+	var batches []isa.MoveBatch
+	for start := 0; start < len(groups); start += aods {
+		end := start + aods
+		if end > len(groups) {
+			end = len(groups)
+		}
+		batches = append(batches, isa.MoveBatch{
+			Groups: append([]move.CollMove(nil), groups[start:end]...),
+		})
+	}
+	return batches
+}
+
+// TotalDuration returns the wall-clock time of the batches executed in
+// sequence, in microseconds.
+func TotalDuration(batches []isa.MoveBatch) float64 {
+	total := 0.0
+	for _, b := range batches {
+		total += b.Duration()
+	}
+	return total
+}

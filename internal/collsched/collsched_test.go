@@ -1,0 +1,208 @@
+package collsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powermove/internal/arch"
+	"powermove/internal/move"
+	"powermove/internal/phys"
+)
+
+func testArch() *arch.Arch { return arch.New(arch.Config{Qubits: 16}) }
+
+func intoStorage(a *arch.Arch, q, col int) move.Move {
+	return move.New(a, q,
+		arch.Site{Zone: arch.Compute, Row: 0, Col: col},
+		arch.Site{Zone: arch.Storage, Row: 7, Col: col})
+}
+
+func outOfStorage(a *arch.Arch, q, col int) move.Move {
+	return move.New(a, q,
+		arch.Site{Zone: arch.Storage, Row: 7, Col: col},
+		arch.Site{Zone: arch.Compute, Row: 0, Col: col})
+}
+
+func lateral(a *arch.Arch, q, col int) move.Move {
+	return move.New(a, q,
+		arch.Site{Zone: arch.Compute, Row: 1, Col: col},
+		arch.Site{Zone: arch.Compute, Row: 1, Col: col + 1})
+}
+
+// TestOrderByStorageFlow: move-in-heavy groups run first, move-out-heavy
+// groups last (Sec. 6.1).
+func TestOrderByStorageFlow(t *testing.T) {
+	a := testArch()
+	groups := []move.CollMove{
+		{Moves: []move.Move{outOfStorage(a, 0, 0), outOfStorage(a, 1, 1)}}, // flow -2
+		{Moves: []move.Move{lateral(a, 2, 0)}},                             // flow 0
+		{Moves: []move.Move{intoStorage(a, 3, 0), intoStorage(a, 4, 1)}},   // flow +2
+		{Moves: []move.Move{intoStorage(a, 5, 2), outOfStorage(a, 6, 3)}},  // flow 0
+	}
+	ordered := OrderByStorageFlow(groups)
+	flows := make([]int, len(ordered))
+	for i, g := range ordered {
+		flows[i] = g.NetStorageFlow()
+	}
+	for i := 1; i < len(flows); i++ {
+		if flows[i-1] < flows[i] {
+			t.Fatalf("flows not descending: %v", flows)
+		}
+	}
+	if flows[0] != 2 || flows[len(flows)-1] != -2 {
+		t.Errorf("flows = %v, want move-ins first and move-outs last", flows)
+	}
+	// Stability: the two zero-flow groups keep their relative order.
+	if len(ordered[1].Moves) != 1 {
+		t.Error("stable sort violated for equal keys")
+	}
+	// The input must not be reordered in place.
+	if groups[0].NetStorageFlow() != -2 {
+		t.Error("input slice mutated")
+	}
+}
+
+func TestBatchChunking(t *testing.T) {
+	a := testArch()
+	var groups []move.CollMove
+	for i := 0; i < 7; i++ {
+		groups = append(groups, move.CollMove{Moves: []move.Move{lateral(a, i, i%3)}})
+	}
+	batches := Batch(groups, 3)
+	if len(batches) != 3 {
+		t.Fatalf("7 groups on 3 AODs = %d batches, want 3", len(batches))
+	}
+	sizes := []int{3, 3, 1}
+	for i, b := range batches {
+		if len(b.Groups) != sizes[i] {
+			t.Errorf("batch %d has %d groups, want %d", i, len(b.Groups), sizes[i])
+		}
+	}
+	if got := Batch(nil, 2); got != nil {
+		t.Errorf("Batch(nil) = %v, want nil", got)
+	}
+}
+
+func TestBatchSingleAODPreservesOrder(t *testing.T) {
+	a := testArch()
+	groups := []move.CollMove{
+		{Moves: []move.Move{intoStorage(a, 0, 0)}},
+		{Moves: []move.Move{lateral(a, 1, 0)}},
+	}
+	batches := Batch(groups, 1)
+	if len(batches) != 2 {
+		t.Fatalf("%d batches, want 2", len(batches))
+	}
+	if !batches[0].Groups[0].Moves[0].IntoStorage() {
+		t.Error("batch order does not preserve group order")
+	}
+}
+
+func TestBatchPanicsOnBadAODs(t *testing.T) {
+	for _, aods := range []int{0, -1} {
+		aods := aods
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Batch(aods=%d) did not panic", aods)
+				}
+			}()
+			Batch(nil, aods)
+		}()
+	}
+}
+
+// TestBatchDuration: a batch costs two transfer intervals plus its
+// slowest group, and parallelizing across AODs shortens the total.
+func TestBatchDuration(t *testing.T) {
+	a := testArch()
+	slow := move.CollMove{Moves: []move.Move{intoStorage(a, 0, 0)}} // long inter-zone hop
+	fast := move.CollMove{Moves: []move.Move{lateral(a, 1, 0)}}     // one pitch
+	groups := []move.CollMove{slow, fast}
+
+	serial := Batch(groups, 1)
+	parallel := Batch(groups, 2)
+	wantSerial := 2*(2*phys.DurationTransfer) + slow.Duration() + fast.Duration()
+	if got := TotalDuration(serial); math.Abs(got-wantSerial) > 1e-9 {
+		t.Errorf("serial duration = %v, want %v", got, wantSerial)
+	}
+	wantParallel := 2*phys.DurationTransfer + slow.Duration()
+	if got := TotalDuration(parallel); math.Abs(got-wantParallel) > 1e-9 {
+		t.Errorf("parallel duration = %v, want %v", got, wantParallel)
+	}
+	if TotalDuration(parallel) >= TotalDuration(serial) {
+		t.Error("two AODs not faster than one")
+	}
+}
+
+// TestMultiAODMonotone: more AODs never increase total movement time.
+func TestMultiAODMonotone(t *testing.T) {
+	a := testArch()
+	rng := rand.New(rand.NewSource(13))
+	var groups []move.CollMove
+	for i := 0; i < 11; i++ {
+		if rng.Intn(2) == 0 {
+			groups = append(groups, move.CollMove{Moves: []move.Move{intoStorage(a, i, rng.Intn(4))}})
+		} else {
+			groups = append(groups, move.CollMove{Moves: []move.Move{lateral(a, i, rng.Intn(3))}})
+		}
+	}
+	prev := math.Inf(1)
+	for aods := 1; aods <= 5; aods++ {
+		total := TotalDuration(Batch(groups, aods))
+		if total > prev+1e-9 {
+			t.Errorf("total duration increased from %v to %v at %d AODs", prev, total, aods)
+		}
+		prev = total
+	}
+}
+
+// TestOrderIsPermutationQuick: the intra-stage scheduler only reorders;
+// it never adds, drops, or mutates groups.
+func TestOrderIsPermutationQuick(t *testing.T) {
+	a := testArch()
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%12)
+		groups := make([]move.CollMove, n)
+		for i := range groups {
+			switch rng.Intn(3) {
+			case 0:
+				groups[i] = move.CollMove{Moves: []move.Move{intoStorage(a, i, rng.Intn(4))}}
+			case 1:
+				groups[i] = move.CollMove{Moves: []move.Move{outOfStorage(a, i, rng.Intn(4))}}
+			default:
+				groups[i] = move.CollMove{Moves: []move.Move{lateral(a, i, rng.Intn(3))}}
+			}
+		}
+		ordered := OrderByStorageFlow(groups)
+		if len(ordered) != len(groups) {
+			return false
+		}
+		// Multiset equality by the moved qubit of each singleton group.
+		seen := make(map[int]int)
+		for _, g := range groups {
+			seen[g.Moves[0].Qubit]++
+		}
+		for _, g := range ordered {
+			seen[g.Moves[0].Qubit]--
+		}
+		for _, v := range seen {
+			if v != 0 {
+				return false
+			}
+		}
+		// Descending flow invariant.
+		for i := 1; i < len(ordered); i++ {
+			if ordered[i-1].NetStorageFlow() < ordered[i].NetStorageFlow() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package core assembles the PowerMove compiler pipeline (Fig. 1b of the
+// paper) from its three components: the Stage Scheduler (internal/stage),
+// the Continuous Router (internal/router), and the Coll-Move Scheduler
+// (internal/collsched). Compile lowers a synthesized circuit to the
+// executable instruction stream of internal/isa.
+//
+// Two modes mirror the paper's evaluation columns:
+//
+//   - with-storage (Options.UseStorage = true): the full pipeline. The
+//     initial layout sits entirely in the storage zone, stages are ordered
+//     to minimize inter-zone traffic, non-interacting qubits are parked in
+//     storage every stage, and Coll-Moves are ordered move-ins-first.
+//   - non-storage (Options.UseStorage = false): only the continuous router
+//     is applied, within the computation zone, matching the paper's
+//     "non-storage" ablation.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/collsched"
+	"powermove/internal/fuse"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
+	"powermove/internal/move"
+	"powermove/internal/router"
+	"powermove/internal/stage"
+)
+
+// Options configures one compilation.
+type Options struct {
+	// UseStorage selects the full zoned pipeline; false runs the
+	// continuous router alone inside the computation zone.
+	UseStorage bool
+	// Alpha is the stage-ordering weight of Sec. 4.2; zero selects
+	// stage.DefaultAlpha. Must lie in (0, 1) when set.
+	Alpha float64
+	// RandomMover enables the paper's random mobile/static choice for
+	// compute-zone pairs (Sec. 5.2 case 4). The default deterministic
+	// lower-index convention groups movements more densely; RandomMover
+	// exists for the ablation benches.
+	RandomMover bool
+	// Seed drives the random mover choice when RandomMover is set. The
+	// same seed reproduces an identical program.
+	Seed int64
+	// DisableStageOrder keeps stages in partition order even in
+	// with-storage mode. It exists for the ablation benches.
+	DisableStageOrder bool
+	// DisableIntraStageOrder keeps Coll-Moves in grouping order even in
+	// with-storage mode. It exists for the ablation benches.
+	DisableIntraStageOrder bool
+	// Grouping selects the Coll-Move grouping heuristic; the zero value
+	// is the default displacement-bucketed grouping. The alternatives
+	// exist for the ablation benches.
+	Grouping Grouping
+	// FuseBlocks runs the block-fusion pre-pass (internal/fuse):
+	// consecutive blocks with disjoint gate supports merge and share
+	// Rydberg stages. Sound when each block's 1Q layer acts only on
+	// that block's gate qubits — the convention of every
+	// internal/workload generator; leave it off for circuits of unknown
+	// provenance.
+	FuseBlocks bool
+}
+
+// Grouping selects how 1Q movements are packed into Coll-Moves.
+type Grouping int
+
+const (
+	// GroupingMerged is the default: displacement buckets greedily
+	// merged in ascending distance order (move.Group).
+	GroupingMerged Grouping = iota
+	// GroupingDistance is the paper's literal ascending-distance
+	// first-fit (move.GroupByDistance).
+	GroupingDistance
+	// GroupingInOrder is arrival-order first-fit (move.GroupInOrder).
+	GroupingInOrder
+)
+
+// Stats summarizes the compiler's work on one circuit.
+type Stats struct {
+	// Blocks, Stages, Moves, CollMoves, and Batches count the pipeline
+	// products at each level.
+	Blocks, Stages, Moves, CollMoves, Batches int
+	// CompileTime is the wall-clock compilation duration.
+	CompileTime time.Duration
+}
+
+// Result carries a compiled program together with the initial layout it
+// must be executed from.
+type Result struct {
+	Program *isa.Program
+	Initial *layout.Layout
+	Stats   Stats
+}
+
+// Compile lowers circ for architecture a. The returned program starts from
+// Result.Initial: all qubits in storage (with-storage mode) or placed
+// row-major in the computation zone (non-storage mode).
+func Compile(circ *circuit.Circuit, a *arch.Arch, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := circ.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = stage.DefaultAlpha
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("core: alpha %v outside (0, 1)", alpha)
+	}
+	if circ.Qubits > a.ComputeSites() {
+		return nil, fmt.Errorf("core: %d qubits exceed %d computation sites", circ.Qubits, a.ComputeSites())
+	}
+	if opts.UseStorage && circ.Qubits > a.StorageSites() {
+		return nil, fmt.Errorf("core: %d qubits exceed %d storage sites", circ.Qubits, a.StorageSites())
+	}
+	if opts.FuseBlocks {
+		circ = fuse.Circuit(circ, fuse.Options{})
+	}
+
+	initial := layout.New(a, circ.Qubits)
+	if opts.UseStorage {
+		initial.PlaceAll(arch.Storage)
+	} else {
+		initial.PlaceAll(arch.Compute)
+	}
+
+	l := initial.Clone()
+	var rng *rand.Rand
+	if opts.RandomMover {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	prog := &isa.Program{Name: circ.Name, Qubits: circ.Qubits}
+	var stats Stats
+
+	stageID := 0
+	for bi := range circ.Blocks {
+		b := &circ.Blocks[bi]
+		stats.Blocks++
+		if b.OneQ > 0 {
+			prog.Instr = append(prog.Instr, isa.OneQLayer{Count: b.OneQ})
+		}
+		stages := stage.Partition(b.Gates)
+		if opts.UseStorage && !opts.DisableStageOrder {
+			stages = stage.Order(stages, alpha)
+		}
+		for _, st := range stages {
+			moves, err := router.Route(l, st, opts.UseStorage, rng)
+			if err != nil {
+				return nil, fmt.Errorf("core: block %d stage %d: %w", bi, stageID, err)
+			}
+			var groups []move.CollMove
+			switch opts.Grouping {
+			case GroupingDistance:
+				groups = move.GroupByDistance(moves)
+			case GroupingInOrder:
+				groups = move.GroupInOrder(moves)
+			default:
+				groups = move.Group(moves)
+			}
+			if opts.UseStorage && !opts.DisableIntraStageOrder {
+				groups = collsched.OrderByStorageFlow(groups)
+			}
+			batches := collsched.Batch(groups, a.AODs)
+			for _, batch := range batches {
+				prog.Instr = append(prog.Instr, batch)
+			}
+			prog.Instr = append(prog.Instr, isa.Rydberg{Stage: stageID, Pairs: st.Gates})
+
+			stats.Stages++
+			stats.Moves += len(moves)
+			stats.CollMoves += len(groups)
+			stats.Batches += len(batches)
+			stageID++
+		}
+	}
+
+	stats.CompileTime = time.Since(start)
+	return &Result{Program: prog, Initial: initial, Stats: stats}, nil
+}

@@ -1,0 +1,204 @@
+package enola
+
+import (
+	"math/rand"
+	"testing"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/layout"
+	"powermove/internal/sim"
+	"powermove/internal/stage"
+	"powermove/internal/workload"
+)
+
+func TestCompileExecutesCleanly(t *testing.T) {
+	circs := []*circuit.Circuit{
+		workload.QAOARegular(20, 3, 1),
+		workload.QFT(10),
+		workload.BV(12, 2),
+		workload.VQE(15),
+		workload.QSim(12, 3),
+	}
+	for _, c := range circs {
+		a := arch.New(arch.Config{Qubits: c.Qubits})
+		res, err := Compile(c, a, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", c.Name, err)
+		}
+		exec, err := sim.Execute(res.Program, res.Initial)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", c.Name, err)
+		}
+		if exec.Fidelity <= 0 || exec.Fidelity > 1 {
+			t.Errorf("%s: fidelity %v out of (0, 1]", c.Name, exec.Fidelity)
+		}
+		if got := exec.Counts.CZGates; got != c.CZCount() {
+			t.Errorf("%s: executed %d CZ gates, circuit has %d", c.Name, got, c.CZCount())
+		}
+	}
+}
+
+// TestRevertsToHome: after execution, every qubit is back at its home
+// site — the defining behaviour of the baseline's movement scheme.
+func TestRevertsToHome(t *testing.T) {
+	c := workload.QAOARegular(16, 3, 5)
+	a := arch.New(arch.Config{Qubits: 16})
+	res, err := Compile(c, a, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.Execute(res.Program, res.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 16; q++ {
+		if exec.Final.SiteOf(q) != res.Initial.SiteOf(q) {
+			t.Fatalf("qubit %d ended at %v, home is %v", q, exec.Final.SiteOf(q), res.Initial.SiteOf(q))
+		}
+	}
+}
+
+// TestNeverUsesStorage: the baseline is confined to the computation zone.
+func TestNeverUsesStorage(t *testing.T) {
+	c := workload.BV(12, 7)
+	a := arch.New(arch.Config{Qubits: 12})
+	res, err := Compile(c, a, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := res.Program.Count()
+	if count.MovedQubits == 0 {
+		t.Fatal("baseline moved nothing")
+	}
+	exec, err := sim.Execute(res.Program, res.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 12; q++ {
+		if exec.Final.Zone(q) != arch.Compute {
+			t.Fatalf("qubit %d in storage under the baseline", q)
+		}
+	}
+}
+
+// TestDoubleMovementVolume: the revert scheme moves exactly twice per
+// forward relocation.
+func TestDoubleMovementVolume(t *testing.T) {
+	c := workload.QAOARegular(20, 3, 9)
+	a := arch.New(arch.Config{Qubits: 20})
+	res, err := Compile(c, a, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One forward move per gate, one revert per gate.
+	if want := 2 * c.CZCount(); res.Stats.Moves != want {
+		t.Errorf("Moves = %d, want %d (out and back per gate)", res.Stats.Moves, want)
+	}
+}
+
+// TestMISStagesDisjointAndComplete validates the baseline's scheduler on
+// random commutable blocks.
+func TestMISStagesDisjointAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(20)
+		var gates []circuit.CZ
+		seen := make(map[circuit.CZ]bool)
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			g := circuit.NewCZ(a, b)
+			if !seen[g] {
+				seen[g] = true
+				gates = append(gates, g)
+			}
+		}
+		if len(gates) == 0 {
+			continue
+		}
+		stages := misStages(gates, 4, rng)
+		total := 0
+		for _, st := range stages {
+			if !st.Disjoint() {
+				t.Fatalf("trial %d: stage not disjoint", trial)
+			}
+			total += len(st.Gates)
+		}
+		if total != len(gates) {
+			t.Fatalf("trial %d: stages cover %d gates, want %d", trial, total, len(gates))
+		}
+	}
+}
+
+// TestMISFindsPerfectMatchingOnChain: with restarts, the baseline finds
+// the 2-stage schedule of a linear chain, matching its near-optimal
+// scheduling claim.
+func TestMISFindsPerfectMatchingOnChain(t *testing.T) {
+	var gates []circuit.CZ
+	for i := 0; i+1 < 20; i++ {
+		gates = append(gates, circuit.NewCZ(i, i+1))
+	}
+	stages := misStages(gates, 64, rand.New(rand.NewSource(1)))
+	if len(stages) > 3 {
+		t.Errorf("chain scheduled into %d stages, want <= 3", len(stages))
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	c := workload.QAOARegular(20, 3, 11)
+	a := arch.New(arch.Config{Qubits: 20})
+	r1, err := Compile(c, a, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile(c, a, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Program.Instr) != len(r2.Program.Instr) {
+		t.Fatal("same seed produced different programs")
+	}
+	c1, c2 := r1.Program.Count(), r2.Program.Count()
+	if c1 != c2 {
+		t.Fatalf("same seed produced different instruction mixes: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestCompileRejections(t *testing.T) {
+	a := arch.New(arch.Config{Qubits: 4})
+	big := workload.VQE(10) // 10 qubits > 4 compute sites? 4 -> 2x2 grid
+	if _, err := Compile(big, a, Options{}); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+	bad := circuit.New("bad", 4)
+	bad.AddBlock(0, circuit.NewCZ(0, 9))
+	if _, err := Compile(bad, arch.New(arch.Config{Qubits: 4}), Options{}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+	good := workload.VQE(4)
+	if _, err := Compile(good, arch.New(arch.Config{Qubits: 4}), Options{Restarts: -1}); err == nil {
+		t.Error("negative restarts accepted")
+	}
+}
+
+// TestStageMoves: the lower-indexed qubit travels to its partner's home.
+func TestStageMoves(t *testing.T) {
+	a := arch.New(arch.Config{Qubits: 4})
+	l := layout.New(a, 4)
+	l.PlaceAll(arch.Compute)
+	st := stage.Stage{Gates: []circuit.CZ{circuit.NewCZ(2, 0)}}
+	moves := stageMoves(l, st)
+	if len(moves) != 1 {
+		t.Fatalf("%d moves, want 1", len(moves))
+	}
+	if moves[0].Qubit != 0 || moves[0].ToSite != l.SiteOf(2) {
+		t.Errorf("move = %v, want q0 -> site of q2", moves[0])
+	}
+	rev := reverse(moves)
+	if rev[0].FromSite != moves[0].ToSite || rev[0].ToSite != moves[0].FromSite {
+		t.Error("reverse did not invert endpoints")
+	}
+}

@@ -1,0 +1,153 @@
+// Package exact computes provably optimal Rydberg-stage partitions for
+// small commutable CZ blocks by branch and bound. The compiler never
+// calls it — minimizing the number of stages is NP-hard in general, which
+// is why the paper's pipeline is heuristic — but the test suite uses it
+// to measure how far the production partitioner strays from optimal, and
+// it is available for offline analysis of small kernels.
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"powermove/internal/circuit"
+	"powermove/internal/stage"
+)
+
+// MaxGates bounds the instance size Partition accepts. Branch and bound
+// on stage partitions is exponential in the worst case; two dozen gates
+// stay comfortably sub-second.
+const MaxGates = 24
+
+// Partition returns a partition of the gates into the provably minimal
+// number of stages (sets of qubit-disjoint gates). Gates must be distinct.
+// It fails if the instance exceeds MaxGates.
+func Partition(gates []circuit.CZ) ([]stage.Stage, error) {
+	if len(gates) > MaxGates {
+		return nil, fmt.Errorf("exact: %d gates exceed the %d-gate limit", len(gates), MaxGates)
+	}
+	if len(gates) == 0 {
+		return nil, nil
+	}
+	seen := make(map[circuit.CZ]bool, len(gates))
+	for _, g := range gates {
+		if seen[g] {
+			return nil, fmt.Errorf("exact: duplicate gate %v", g)
+		}
+		seen[g] = true
+	}
+
+	// Order gates by descending conflict degree: constraining the most
+	// conflicted gates first tightens pruning dramatically.
+	conflict := stage.ConflictGraph(gates)
+	order := make([]int, len(gates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return conflict.Degree(order[a]) > conflict.Degree(order[b])
+	})
+	ordered := make([]circuit.CZ, len(gates))
+	for i, gi := range order {
+		ordered[i] = gates[gi]
+	}
+
+	// Upper bound from the production heuristic; the search can only
+	// improve on it.
+	heuristic := stage.Partition(gates)
+	s := &solver{
+		gates: ordered,
+		best:  len(heuristic),
+		lower: MinStagesLowerBound(gates),
+	}
+	s.search(0, nil)
+	if s.bestAssign == nil {
+		// The heuristic bound was already optimal; reconstruct from it.
+		return heuristic, nil
+	}
+	out := make([]stage.Stage, s.best)
+	for gi, si := range s.bestAssign {
+		out[si].Gates = append(out[si].Gates, ordered[gi])
+	}
+	return out, nil
+}
+
+// MinStages returns only the optimal stage count.
+func MinStages(gates []circuit.CZ) (int, error) {
+	stages, err := Partition(gates)
+	if err != nil {
+		return 0, err
+	}
+	return len(stages), nil
+}
+
+// MinStagesLowerBound returns the trivial lower bound on the stage count:
+// the maximum number of gates sharing one qubit.
+func MinStagesLowerBound(gates []circuit.CZ) int {
+	deg := make(map[int]int)
+	max := 0
+	for _, g := range gates {
+		deg[g.A]++
+		deg[g.B]++
+		if deg[g.A] > max {
+			max = deg[g.A]
+		}
+		if deg[g.B] > max {
+			max = deg[g.B]
+		}
+	}
+	return max
+}
+
+type solver struct {
+	gates      []circuit.CZ
+	best       int   // best stage count found so far (upper bound)
+	bestAssign []int // gate -> stage of the best solution, nil if none beat the heuristic
+	lower      int
+}
+
+// search assigns gates[idx:] given the partial assignment in assign
+// (one stage index per already-placed gate). usedStages is implied by
+// assign's maximum + 1.
+func (s *solver) search(idx int, assign []int) {
+	usedStages := 0
+	for _, si := range assign {
+		if si+1 > usedStages {
+			usedStages = si + 1
+		}
+	}
+	if usedStages >= s.best {
+		return // cannot improve
+	}
+	if idx == len(s.gates) {
+		s.best = usedStages
+		s.bestAssign = append([]int(nil), assign...)
+		return
+	}
+	g := s.gates[idx]
+	// Try existing stages first (symmetry: new stages are interchangeable,
+	// so opening at most one new stage per level suffices).
+	for si := 0; si < usedStages; si++ {
+		if s.fits(assign, idx, si, g) {
+			s.search(idx+1, append(assign, si))
+			assign = assign[:idx]
+			if s.best == s.lower {
+				return // provably optimal already
+			}
+		}
+	}
+	if usedStages+1 < s.best {
+		s.search(idx+1, append(assign, usedStages))
+	}
+}
+
+// fits reports whether gate g can join stage si under the partial
+// assignment of the first idx gates.
+func (s *solver) fits(assign []int, idx, si int, g circuit.CZ) bool {
+	for gi := 0; gi < idx; gi++ {
+		if assign[gi] == si && s.gates[gi].Overlaps(g) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"powermove/internal/circuit"
+	"powermove/internal/graphutil"
+	"powermove/internal/stage"
+)
+
+func gatesOf(edges [][2]int) []circuit.CZ {
+	out := make([]circuit.CZ, len(edges))
+	for i, e := range edges {
+		out[i] = circuit.NewCZ(e[0], e[1])
+	}
+	return out
+}
+
+func TestKnownChromaticIndexes(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][2]int
+		want  int
+	}{
+		{"single edge", [][2]int{{0, 1}}, 1},
+		{"path4", [][2]int{{0, 1}, {1, 2}, {2, 3}}, 2},
+		{"triangle", [][2]int{{0, 1}, {1, 2}, {0, 2}}, 3},
+		{"star5", [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 4},
+		{"C5 (class 2)", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, 3},
+		{"C6 (class 1)", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, 2},
+		{"K4", [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 3},
+		{"two disjoint edges", [][2]int{{0, 1}, {2, 3}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MinStages(gatesOf(tc.edges))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("MinStages = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPartitionIsValid(t *testing.T) {
+	gates := gatesOf([][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	stages, err := Partition(gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[circuit.CZ]bool)
+	for _, st := range stages {
+		if !st.Disjoint() {
+			t.Fatalf("stage %v not disjoint", st.Gates)
+		}
+		for _, g := range st.Gates {
+			if seen[g] {
+				t.Fatalf("gate %v twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != len(gates) {
+		t.Fatalf("covered %d gates, want %d", len(seen), len(gates))
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	if got, err := Partition(nil); err != nil || got != nil {
+		t.Errorf("Partition(nil) = %v, %v", got, err)
+	}
+	big := make([]circuit.CZ, MaxGates+1)
+	for i := range big {
+		big[i] = circuit.NewCZ(2*i, 2*i+1)
+	}
+	if _, err := Partition(big); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := Partition([]circuit.CZ{circuit.NewCZ(0, 1), circuit.NewCZ(1, 0)}); err == nil {
+		t.Error("duplicate gates accepted")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	gates := gatesOf([][2]int{{0, 1}, {0, 2}, {0, 3}, {4, 5}})
+	if got := MinStagesLowerBound(gates); got != 3 {
+		t.Errorf("lower bound = %d, want 3", got)
+	}
+}
+
+// TestHeuristicNearOptimal is the quality audit of the production
+// partitioner: on random small blocks, stage.Partition uses at most one
+// stage more than the provable optimum (Vizing's theorem guarantees the
+// bound; in practice it is usually tight).
+func TestHeuristicNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(8)
+		g := graphutil.RandomGNP(n, 0.3+0.4*rng.Float64(), rng)
+		var gates []circuit.CZ
+		for _, e := range g.Edges() {
+			gates = append(gates, circuit.NewCZ(e[0], e[1]))
+			if len(gates) == MaxGates {
+				break
+			}
+		}
+		if len(gates) == 0 {
+			continue
+		}
+		opt, err := MinStages(gates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur := len(stage.Partition(gates))
+		if heur > opt+1 {
+			t.Errorf("trial %d: heuristic %d stages, optimum %d", trial, heur, opt)
+		}
+		if heur < opt {
+			t.Fatalf("trial %d: heuristic %d beats 'optimum' %d — exact solver broken", trial, heur, opt)
+		}
+		if opt < MinStagesLowerBound(gates) {
+			t.Fatalf("trial %d: optimum below lower bound", trial)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiments defines the paper's evaluation (Sec. 7) as runnable
+// experiments: the benchmark suite of Table 2, the three-way comparison of
+// Table 3 (Enola baseline vs PowerMove non-storage vs PowerMove
+// with-storage), the fidelity-component ablations of Fig. 6, and the
+// multi-AOD sweep of Fig. 7. cmd/experiments and the repository's
+// benchmark harness are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/core"
+	"powermove/internal/enola"
+	"powermove/internal/fidelity"
+	"powermove/internal/sim"
+	"powermove/internal/workload"
+)
+
+// Family names the benchmark generators of Sec. 7.1.
+type Family string
+
+// The benchmark families evaluated in the paper.
+const (
+	QAOARegular3 Family = "QAOA-regular3"
+	QAOARegular4 Family = "QAOA-regular4"
+	QAOARandom   Family = "QAOA-random"
+	QFT          Family = "QFT"
+	BV           Family = "BV"
+	VQE          Family = "VQE"
+	QSim         Family = "QSIM-rand"
+)
+
+// Spec identifies one benchmark instance: a family and a qubit count. The
+// seed of every randomized generator is derived deterministically from the
+// spec, so repeated runs are identical.
+type Spec struct {
+	Family Family
+	Qubits int
+}
+
+// String returns the paper's "family-n" naming.
+func (s Spec) String() string { return fmt.Sprintf("%s-%d", s.Family, s.Qubits) }
+
+// seed derives a stable per-instance seed.
+func (s Spec) seed() int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(s.Family) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return h ^ int64(s.Qubits)*2654435761
+}
+
+// Circuit instantiates the benchmark circuit.
+func (s Spec) Circuit() (*circuit.Circuit, error) {
+	switch s.Family {
+	case QAOARegular3:
+		return workload.QAOARegular(s.Qubits, 3, s.seed()), nil
+	case QAOARegular4:
+		return workload.QAOARegular(s.Qubits, 4, s.seed()), nil
+	case QAOARandom:
+		return workload.QAOARandom(s.Qubits, s.seed()), nil
+	case QFT:
+		return workload.QFT(s.Qubits), nil
+	case BV:
+		return workload.BV(s.Qubits, s.seed()), nil
+	case VQE:
+		return workload.VQE(s.Qubits), nil
+	case QSim:
+		return workload.QSim(s.Qubits, s.seed()), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown family %q", s.Family)
+	}
+}
+
+// Arch returns the default Table-2 architecture for this instance with the
+// given AOD count.
+func (s Spec) Arch(aods int) *arch.Arch {
+	return arch.New(arch.Config{Qubits: s.Qubits, AODs: aods})
+}
+
+// Table2Specs returns the 23 benchmark instances of Table 2, in table
+// order.
+func Table2Specs() []Spec {
+	return []Spec{
+		{QAOARegular3, 30}, {QAOARegular3, 40}, {QAOARegular3, 50},
+		{QAOARegular3, 60}, {QAOARegular3, 80}, {QAOARegular3, 100},
+		{QAOARegular4, 30}, {QAOARegular4, 40}, {QAOARegular4, 50},
+		{QAOARegular4, 60}, {QAOARegular4, 80},
+		{QAOARandom, 20}, {QAOARandom, 30},
+		{QFT, 18}, {QFT, 29},
+		{BV, 14}, {BV, 50}, {BV, 70},
+		{VQE, 30}, {VQE, 50},
+		{QSim, 10}, {QSim, 20}, {QSim, 40},
+	}
+}
+
+// SchemeResult is one compiler's outcome on one benchmark instance.
+type SchemeResult struct {
+	// Fidelity is the headline output fidelity (Equation 1, 1Q term
+	// excluded per Sec. 2.2).
+	Fidelity float64
+	// Components are the individual fidelity factors, for Fig. 6.
+	Components fidelity.Components
+	// Texe is the execution time in microseconds.
+	Texe float64
+	// Tcomp is the measured compilation time.
+	Tcomp time.Duration
+	// Stages is the number of Rydberg pulses the schedule uses.
+	Stages int
+	// Moves is the number of executed 1Q relocations.
+	Moves int
+}
+
+// RowResult is one full Table-3 row: all three schemes on one instance.
+type RowResult struct {
+	Spec        Spec
+	Enola       SchemeResult
+	NonStorage  SchemeResult
+	WithStorage SchemeResult
+}
+
+// FidelityImprovement returns the paper's "Fidelity Improv." column:
+// with-storage fidelity over the baseline's.
+func (r *RowResult) FidelityImprovement() float64 {
+	if r.Enola.Fidelity == 0 {
+		return 0
+	}
+	return r.WithStorage.Fidelity / r.Enola.Fidelity
+}
+
+// TexeImprovement returns the paper's "Texe Improv." column: the baseline
+// execution time over the non-storage execution time (the paper's
+// continuous-router speedup).
+func (r *RowResult) TexeImprovement() float64 {
+	if r.NonStorage.Texe == 0 {
+		return 0
+	}
+	return r.Enola.Texe / r.NonStorage.Texe
+}
+
+// TcompImprovement returns the paper's "Tcomp Improv." column: baseline
+// compile time over the mean of the two PowerMove compile times (the
+// paper reports the average of its two scenarios).
+func (r *RowResult) TcompImprovement() float64 {
+	ours := (r.NonStorage.Tcomp + r.WithStorage.Tcomp) / 2
+	if ours == 0 {
+		return 0
+	}
+	return float64(r.Enola.Tcomp) / float64(ours)
+}
+
+// Run executes the full three-way comparison for one benchmark instance on
+// its default single-AOD architecture.
+func Run(spec Spec) (*RowResult, error) {
+	return RunWithAODs(spec, 1)
+}
+
+// RunWithAODs executes the three-way comparison with the given number of
+// AOD arrays (the baseline always uses one, as in the paper).
+func RunWithAODs(spec Spec, aods int) (*RowResult, error) {
+	circ, err := spec.Circuit()
+	if err != nil {
+		return nil, err
+	}
+	row := &RowResult{Spec: spec}
+
+	row.Enola, err = runEnola(circ, spec.Arch(1))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s baseline: %w", spec, err)
+	}
+	row.NonStorage, err = runPowerMove(circ, spec.Arch(aods), false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s non-storage: %w", spec, err)
+	}
+	row.WithStorage, err = runPowerMove(circ, spec.Arch(aods), true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s with-storage: %w", spec, err)
+	}
+	return row, nil
+}
+
+func runEnola(circ *circuit.Circuit, a *arch.Arch) (SchemeResult, error) {
+	res, err := enola.Compile(circ, a, enola.Options{Seed: 1})
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	exec, err := sim.Execute(res.Program, res.Initial)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	return SchemeResult{
+		Fidelity:   exec.Fidelity,
+		Components: exec.Components,
+		Texe:       exec.Time,
+		Tcomp:      res.Stats.CompileTime,
+		Stages:     exec.Stages,
+		Moves:      res.Stats.Moves,
+	}, nil
+}
+
+func runPowerMove(circ *circuit.Circuit, a *arch.Arch, storage bool) (SchemeResult, error) {
+	res, err := core.Compile(circ, a, core.Options{UseStorage: storage, Seed: 1})
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	exec, err := sim.Execute(res.Program, res.Initial)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	return SchemeResult{
+		Fidelity:   exec.Fidelity,
+		Components: exec.Components,
+		Texe:       exec.Time,
+		Tcomp:      res.Stats.CompileTime,
+		Stages:     exec.Stages,
+		Moves:      res.Stats.Moves,
+	}, nil
+}

@@ -1,0 +1,99 @@
+// Figure-level experiments: the per-component fidelity ablations of Fig. 6
+// and the multi-AOD sweep of Fig. 7.
+package experiments
+
+import "fmt"
+
+// Figure6Sizes returns the qubit counts swept for each panel of Fig. 6,
+// matching the x-axis ranges of the paper's plots.
+func Figure6Sizes(f Family) []int {
+	switch f {
+	case QAOARegular3:
+		return []int{20, 40, 60, 80, 100}
+	case QSim:
+		return []int{10, 20, 40, 60, 80}
+	case QFT:
+		return []int{18, 29, 44, 60}
+	case VQE:
+		return []int{10, 20, 30, 40, 50}
+	case BV:
+		return []int{14, 30, 50, 70}
+	default:
+		return nil
+	}
+}
+
+// Figure6Families returns the panels of Fig. 6 in paper order.
+func Figure6Families() []Family {
+	return []Family{QAOARegular3, QSim, QFT, VQE, BV}
+}
+
+// Figure6Point is one x-position of one Fig. 6 panel: the fidelity
+// components of all three schemes at one qubit count.
+type Figure6Point struct {
+	Qubits int
+	Row    *RowResult
+}
+
+// Figure6 runs one panel of Fig. 6: the given family swept over its
+// figure sizes, recording the per-component fidelity breakdown for the
+// baseline and both PowerMove modes.
+func Figure6(f Family) ([]Figure6Point, error) {
+	sizes := Figure6Sizes(f)
+	if sizes == nil {
+		return nil, fmt.Errorf("experiments: family %q is not a Fig. 6 panel", f)
+	}
+	points := make([]Figure6Point, 0, len(sizes))
+	for _, n := range sizes {
+		row, err := Run(Spec{Family: f, Qubits: n})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Figure6Point{Qubits: n, Row: row})
+	}
+	return points, nil
+}
+
+// Figure7Specs returns the five benchmark instances of the multi-AOD study
+// (Fig. 7): 100-qubit QAOA-regular3, 20-qubit QSIM, 18-qubit QFT,
+// 50-qubit VQE, and 70-qubit BV.
+func Figure7Specs() []Spec {
+	return []Spec{
+		{QAOARegular3, 100},
+		{QSim, 20},
+		{QFT, 18},
+		{VQE, 50},
+		{BV, 70},
+	}
+}
+
+// MaxAODs is the largest AOD count swept in Fig. 7.
+const MaxAODs = 4
+
+// Figure7Point records the full-pipeline result of one benchmark under one
+// AOD count.
+type Figure7Point struct {
+	Spec   Spec
+	AODs   int
+	Result SchemeResult
+}
+
+// Figure7 sweeps AOD counts 1..MaxAODs over the Fig. 7 benchmarks, running
+// the with-storage pipeline (the paper's full framework).
+func Figure7() ([]Figure7Point, error) {
+	var points []Figure7Point
+	for _, spec := range Figure7Specs() {
+		circ, err := spec.Circuit()
+		if err != nil {
+			return nil, err
+		}
+		for aods := 1; aods <= MaxAODs; aods++ {
+			res, err := runPowerMove(circ, spec.Arch(aods), true)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s with %d AODs: %w", spec, aods, err)
+			}
+			points = append(points, Figure7Point{Spec: spec, AODs: aods, Result: res})
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,138 @@
+// Rendering of experiments as the paper's tables and figures, via
+// internal/report.
+package experiments
+
+import (
+	"fmt"
+
+	"powermove/internal/arch"
+	"powermove/internal/phys"
+	"powermove/internal/report"
+)
+
+// Table1 renders the hardware-parameter table (Table 1 of the paper)
+// directly from the physical model's constants.
+func Table1() *report.Table {
+	t := report.NewTable("Table 1: fidelity and duration of NAQC operations",
+		"Operation", "Fidelity", "Duration")
+	t.AddRow("1Q gate", fmt.Sprintf("%.2f%%", phys.FidelityOneQubit*100), fmt.Sprintf("%.0f us", phys.DurationOneQubit))
+	t.AddRow("CZ gate", fmt.Sprintf("%.1f%%", phys.FidelityCZ*100), fmt.Sprintf("%.0f ns", phys.DurationCZ*1000))
+	t.AddRow("Excitation", fmt.Sprintf("%.2f%%", phys.FidelityExcitation*100), fmt.Sprintf("%.0f ns", phys.DurationCZ*1000))
+	t.AddRow("Transfer", fmt.Sprintf("%.1f%%", phys.FidelityTransfer*100), fmt.Sprintf("%.0f us", phys.DurationTransfer))
+	t.AddRow("Movement", fmt.Sprintf("~100%% if a < %.0f m/s^2", phys.MaxAcceleration),
+		fmt.Sprintf("%.0f us (%.0f us) for 27.5 um (110 um)", phys.MoveTime(27.5), phys.MoveTime(110)))
+	return t
+}
+
+// Table2 renders the benchmark/zone-size table (Table 2 of the paper) from
+// the default architecture builder.
+func Table2() *report.Table {
+	t := report.NewTable("Table 2: benchmarks and hardware configuration",
+		"Name", "#Qubits", "Compute Zone (um^2)", "Inter Zone (um^2)", "Storage Zone (um^2)")
+	for _, spec := range Table2Specs() {
+		a := spec.Arch(1)
+		cz := a.ZoneRect(arch.Compute)
+		iz := a.InterZoneRect()
+		sz := a.ZoneRect(arch.Storage)
+		t.AddRow(string(spec.Family), fmt.Sprintf("%d", spec.Qubits),
+			fmt.Sprintf("%.0f x %.0f", cz.Width(), cz.Height()),
+			fmt.Sprintf("%.0f x %.0f", iz.Width(), iz.Height()),
+			fmt.Sprintf("%.0f x %.0f", sz.Width(), sz.Height()))
+	}
+	return t
+}
+
+// Table3 runs the full main-results comparison and renders it in the
+// column layout of Table 3 of the paper.
+func Table3() (*report.Table, []*RowResult, error) {
+	t := report.NewTable("Table 3: main results (Enola baseline vs PowerMove)",
+		"Benchmark", "Enola Fid", "Our Fid (non-st)", "Our Fid (storage)", "Fid Improv",
+		"Enola Texe(us)", "Our Texe (non-st)", "Our Texe (storage)", "Texe Improv",
+		"Enola Tcomp", "Our Tcomp", "Tcomp Improv")
+	rows := make([]*RowResult, 0, len(Table2Specs()))
+	for _, spec := range Table2Specs() {
+		row, err := Run(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+		ourTcomp := (row.NonStorage.Tcomp + row.WithStorage.Tcomp) / 2
+		t.AddRow(row.Spec.String(),
+			report.Sci(row.Enola.Fidelity),
+			report.Sci(row.NonStorage.Fidelity),
+			report.Sci(row.WithStorage.Fidelity),
+			report.Ratio(row.FidelityImprovement()),
+			report.Fixed(row.Enola.Texe, 1),
+			report.Fixed(row.NonStorage.Texe, 1),
+			report.Fixed(row.WithStorage.Texe, 1),
+			report.Ratio(row.TexeImprovement()),
+			row.Enola.Tcomp.String(),
+			ourTcomp.String(),
+			report.Ratio(row.TcompImprovement()))
+	}
+	return t, rows, nil
+}
+
+// Summary renders the aggregate claims of Sec. 7.2 from a set of Table-3
+// rows: the execution-time improvement range, the largest fidelity
+// improvement, and the largest compilation-time improvement.
+func Summary(rows []*RowResult) *report.Table {
+	t := report.NewTable("Sec. 7.2 aggregate claims", "Claim", "Paper", "Measured")
+	minTexe, maxTexe := 0.0, 0.0
+	maxFid, maxTcomp := 0.0, 0.0
+	for i, r := range rows {
+		texe := r.TexeImprovement()
+		if i == 0 || texe < minTexe {
+			minTexe = texe
+		}
+		if texe > maxTexe {
+			maxTexe = texe
+		}
+		if f := r.FidelityImprovement(); f > maxFid {
+			maxFid = f
+		}
+		if c := r.TcompImprovement(); c > maxTcomp {
+			maxTcomp = c
+		}
+	}
+	t.AddRow("Execution-time improvement range", "1.71x - 3.46x",
+		fmt.Sprintf("%s - %s", report.Ratio(minTexe), report.Ratio(maxTexe)))
+	t.AddRow("Max fidelity improvement", "1090x (BV-70)", report.Ratio(maxFid))
+	t.AddRow("Max compile-time improvement", "213.5x (BV-70)", report.Ratio(maxTcomp))
+	return t
+}
+
+// Figure6Table renders one Fig. 6 panel as a table: one row per scheme per
+// qubit count, with the four fidelity components the figure stacks.
+func Figure6Table(f Family, points []Figure6Point) *report.Table {
+	t := report.NewTable(fmt.Sprintf("Figure 6: fidelity components, %s", f),
+		"#Qubits", "Scheme", "Total", "Two-qubit", "Excitation", "Transfer", "Decoherence")
+	for _, pt := range points {
+		for _, s := range []struct {
+			name string
+			res  SchemeResult
+		}{
+			{"Enola", pt.Row.Enola},
+			{"Ours (non-storage)", pt.Row.NonStorage},
+			{"Ours (with-storage)", pt.Row.WithStorage},
+		} {
+			c := s.res.Components
+			t.AddRow(fmt.Sprintf("%d", pt.Qubits), s.name,
+				report.Sci(s.res.Fidelity),
+				report.Sci(c.TwoQubit), report.Sci(c.Excitation),
+				report.Sci(c.Transfer), report.Sci(c.Decoherence))
+		}
+	}
+	return t
+}
+
+// Figure7Table renders the multi-AOD sweep of Fig. 7.
+func Figure7Table(points []Figure7Point) *report.Table {
+	t := report.NewTable("Figure 7: effect of multiple AODs (with-storage pipeline)",
+		"Benchmark", "AODs", "Texe (us)", "Fidelity")
+	for _, pt := range points {
+		t.AddRow(pt.Spec.String(), fmt.Sprintf("%d", pt.AODs),
+			report.Fixed(pt.Result.Texe, 1), report.Sci(pt.Result.Fidelity))
+	}
+	return t
+}

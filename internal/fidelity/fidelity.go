@@ -1,0 +1,111 @@
+// Package fidelity implements the output-fidelity model of Sec. 2.2 of the
+// paper (Equation 1). The model decomposes circuit fidelity into five
+// multiplicative components: single-qubit gates, CZ gates, Rydberg
+// excitation error on idle computation-zone qubits, SLM<->AOD transfer
+// error, and per-qubit decoherence proportional to time spent idle outside
+// the storage zone.
+package fidelity
+
+import (
+	"fmt"
+	"strings"
+
+	"powermove/internal/phys"
+)
+
+// Counts aggregates the raw event counts and idle times that determine the
+// output fidelity. The executor produces one Counts per run.
+type Counts struct {
+	// OneQGates is g1, the number of single-qubit gates.
+	OneQGates int
+	// CZGates is g2, the number of two-qubit CZ gates.
+	CZGates int
+	// Excitations is the number of Rydberg pulses S.
+	Excitations int
+	// ExcitedIdle is the sum over pulses of the number of
+	// non-interacting qubits caught in the computation zone
+	// (sum of n_i in Equation 1).
+	ExcitedIdle int
+	// Transfers is N_trans, the number of SLM<->AOD qubit transfers
+	// (two per moved qubit per Coll-Move: pickup and dropoff).
+	Transfers int
+	// IdleTime[q] is T_q: the total time qubit q spent outside the
+	// storage zone while not being operated on, in microseconds.
+	IdleTime []float64
+}
+
+// Add accumulates other into c. Idle-time slices must describe the same
+// qubit count; Add panics otherwise.
+func (c *Counts) Add(other Counts) {
+	c.OneQGates += other.OneQGates
+	c.CZGates += other.CZGates
+	c.Excitations += other.Excitations
+	c.ExcitedIdle += other.ExcitedIdle
+	c.Transfers += other.Transfers
+	if len(c.IdleTime) == 0 {
+		c.IdleTime = append(c.IdleTime, other.IdleTime...)
+		return
+	}
+	if len(other.IdleTime) == 0 {
+		return
+	}
+	if len(other.IdleTime) != len(c.IdleTime) {
+		panic(fmt.Sprintf("fidelity: mismatched qubit counts %d and %d", len(c.IdleTime), len(other.IdleTime)))
+	}
+	for q := range c.IdleTime {
+		c.IdleTime[q] += other.IdleTime[q]
+	}
+}
+
+// Components holds the five multiplicative fidelity factors of Equation 1.
+type Components struct {
+	// OneQubit is f1^g1. The paper omits this term from compiler
+	// comparisons because 1Q layers are identical across compilers; it
+	// is reported separately and excluded from Total.
+	OneQubit float64
+	// TwoQubit is f2^g2.
+	TwoQubit float64
+	// Excitation is f_exc^(sum n_i).
+	Excitation float64
+	// Transfer is f_trans^N_trans.
+	Transfer float64
+	// Decoherence is the product over qubits of (1 - T_q/T2).
+	Decoherence float64
+}
+
+// Compute evaluates the fidelity model on the given counts.
+func Compute(c Counts) Components {
+	deco := 1.0
+	for _, idle := range c.IdleTime {
+		deco *= phys.DecoherenceFactor(idle)
+	}
+	return Components{
+		OneQubit:    phys.Pow(phys.FidelityOneQubit, c.OneQGates),
+		TwoQubit:    phys.Pow(phys.FidelityCZ, c.CZGates),
+		Excitation:  phys.Pow(phys.FidelityExcitation, c.ExcitedIdle),
+		Transfer:    phys.Pow(phys.FidelityTransfer, c.Transfers),
+		Decoherence: deco,
+	}
+}
+
+// Total returns the output fidelity used in the paper's comparisons: the
+// product of the CZ, excitation, transfer, and decoherence components.
+// Following Sec. 2.2, the single-qubit term is excluded because it is
+// identical across the compared compilers.
+func (f Components) Total() float64 {
+	return f.TwoQubit * f.Excitation * f.Transfer * f.Decoherence
+}
+
+// TotalWithOneQubit returns the full Equation-1 product including the
+// single-qubit term.
+func (f Components) TotalWithOneQubit() float64 {
+	return f.Total() * f.OneQubit
+}
+
+// String renders the components compactly for logs and reports.
+func (f Components) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%.4g (2q=%.4g exc=%.4g trans=%.4g deco=%.4g 1q=%.4g)",
+		f.Total(), f.TwoQubit, f.Excitation, f.Transfer, f.Decoherence, f.OneQubit)
+	return b.String()
+}

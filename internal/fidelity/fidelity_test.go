@@ -1,0 +1,126 @@
+package fidelity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"powermove/internal/phys"
+)
+
+func TestComputeHandChecked(t *testing.T) {
+	c := Counts{
+		OneQGates:   10,
+		CZGates:     20,
+		Excitations: 3,
+		ExcitedIdle: 5,
+		Transfers:   8,
+		IdleTime:    []float64{1000, 0, 150000},
+	}
+	f := Compute(c)
+	approx := func(got, want float64, name string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx(f.OneQubit, math.Pow(0.9999, 10), "OneQubit")
+	approx(f.TwoQubit, math.Pow(0.995, 20), "TwoQubit")
+	approx(f.Excitation, math.Pow(0.9975, 5), "Excitation")
+	approx(f.Transfer, math.Pow(0.999, 8), "Transfer")
+	wantDeco := (1 - 1000/phys.CoherenceTime) * 1 * (1 - 150000/phys.CoherenceTime)
+	approx(f.Decoherence, wantDeco, "Decoherence")
+	approx(f.Total(), f.TwoQubit*f.Excitation*f.Transfer*f.Decoherence, "Total")
+	approx(f.TotalWithOneQubit(), f.Total()*f.OneQubit, "TotalWithOneQubit")
+}
+
+// TestTotalExcludesOneQubit pins the Sec. 2.2 convention: the headline
+// fidelity omits the 1Q term.
+func TestTotalExcludesOneQubit(t *testing.T) {
+	with := Compute(Counts{OneQGates: 1000})
+	without := Compute(Counts{})
+	if with.Total() != without.Total() {
+		t.Error("1Q gates leaked into Total()")
+	}
+	if with.TotalWithOneQubit() >= without.TotalWithOneQubit() {
+		t.Error("1Q gates missing from TotalWithOneQubit()")
+	}
+}
+
+func TestZeroCountsPerfectFidelity(t *testing.T) {
+	f := Compute(Counts{})
+	if f.Total() != 1 || f.TotalWithOneQubit() != 1 {
+		t.Errorf("empty program fidelity = %v, want 1", f.Total())
+	}
+}
+
+// TestComponentsBounded: fidelity components stay in [0, 1] for any
+// non-negative counts.
+func TestComponentsBounded(t *testing.T) {
+	f := func(g1, g2, exc, tr uint16, idleRaw uint32) bool {
+		idle := float64(idleRaw) // up to ~4.3e9 us, beyond T2
+		c := Counts{
+			OneQGates:   int(g1),
+			CZGates:     int(g2),
+			ExcitedIdle: int(exc),
+			Transfers:   int(tr),
+			IdleTime:    []float64{idle},
+		}
+		comp := Compute(c)
+		for _, v := range []float64{comp.OneQubit, comp.TwoQubit, comp.Excitation, comp.Transfer, comp.Decoherence, comp.Total()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counts{OneQGates: 1, CZGates: 2, Excitations: 1, ExcitedIdle: 3, Transfers: 4, IdleTime: []float64{10, 20}}
+	b := Counts{OneQGates: 5, CZGates: 6, Excitations: 2, ExcitedIdle: 7, Transfers: 8, IdleTime: []float64{1, 2}}
+	a.Add(b)
+	if a.OneQGates != 6 || a.CZGates != 8 || a.Excitations != 3 || a.ExcitedIdle != 10 || a.Transfers != 12 {
+		t.Errorf("Add scalar fields wrong: %+v", a)
+	}
+	if a.IdleTime[0] != 11 || a.IdleTime[1] != 22 {
+		t.Errorf("Add idle times wrong: %v", a.IdleTime)
+	}
+}
+
+func TestAddEmptySides(t *testing.T) {
+	a := Counts{}
+	a.Add(Counts{IdleTime: []float64{5}})
+	if len(a.IdleTime) != 1 || a.IdleTime[0] != 5 {
+		t.Error("Add into empty Counts lost idle times")
+	}
+	b := Counts{IdleTime: []float64{5}}
+	b.Add(Counts{})
+	if b.IdleTime[0] != 5 {
+		t.Error("Add of empty Counts corrupted idle times")
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	a := Counts{IdleTime: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched qubit counts did not panic")
+		}
+	}()
+	a.Add(Counts{IdleTime: []float64{1, 2}})
+}
+
+func TestString(t *testing.T) {
+	f := Compute(Counts{CZGates: 1})
+	s := f.String()
+	for _, piece := range []string{"total=", "2q=", "exc=", "trans=", "deco=", "1q="} {
+		if !strings.Contains(s, piece) {
+			t.Errorf("String() = %q missing %q", s, piece)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package fuse implements an optional circuit-level optimization pass
+// that merges consecutive dependent CZ blocks whose gate supports are
+// disjoint. Gates on disjoint qubits commute, so such blocks can execute
+// under shared Rydberg stages; fusing them lets the stage scheduler
+// parallelize across what the front end emitted as sequential blocks.
+// QSim-style workloads — many small Pauli-string blocks on scattered
+// supports — benefit the most: independent strings share pulses instead
+// of serializing.
+//
+// Soundness rests on one IR convention: a block's single-qubit layer acts
+// only on that block's gate qubits (true for every internal/workload
+// generator, where layers are basis changes on the participating qubits).
+// The IR does not record 1Q-gate targets, so the pass cannot verify the
+// convention; callers ingesting foreign circuits (e.g. via internal/qasm,
+// whose layers may include rotations on other qubits) should either skip
+// fusion or restrict it to blocks without 1Q gates via Options.
+package fuse
+
+import (
+	"powermove/internal/circuit"
+)
+
+// Options controls the pass.
+type Options struct {
+	// RequireEmptyOneQ restricts fusion to candidate blocks with no
+	// single-qubit layer, dropping the aligned-layer convention and
+	// making the pass sound for arbitrary circuits.
+	RequireEmptyOneQ bool
+}
+
+// Circuit returns a new circuit in which every maximal run of consecutive
+// blocks with pairwise-disjoint gate supports is merged into one block
+// (1Q layer counts summed, gate lists concatenated). The input is not
+// modified. Blocks with no CZ gates merge into their predecessor's layer
+// unconditionally when RequireEmptyOneQ is false; under RequireEmptyOneQ
+// a 1Q-only block still ends the current run, preserving its barrier
+// role.
+func Circuit(c *circuit.Circuit, opts Options) *circuit.Circuit {
+	out := circuit.New(c.Name, c.Qubits)
+	var cur *circuit.Block
+	var curQubits map[int]bool
+
+	flush := func() {
+		if cur != nil {
+			out.Blocks = append(out.Blocks, *cur)
+			cur, curQubits = nil, nil
+		}
+	}
+
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		if cur == nil {
+			cur = cloneBlock(b)
+			curQubits = supportOf(b)
+			continue
+		}
+		if canFuse(cur, curQubits, b, opts) {
+			cur.OneQ += b.OneQ
+			cur.Gates = append(cur.Gates, b.Gates...)
+			for q := range supportOf(b) {
+				curQubits[q] = true
+			}
+			continue
+		}
+		flush()
+		cur = cloneBlock(b)
+		curQubits = supportOf(b)
+	}
+	flush()
+	return out
+}
+
+// canFuse reports whether block b may merge into the accumulating block.
+func canFuse(cur *circuit.Block, curQubits map[int]bool, b *circuit.Block, opts Options) bool {
+	if opts.RequireEmptyOneQ && b.OneQ > 0 {
+		return false
+	}
+	for _, g := range b.Gates {
+		if curQubits[g.A] || curQubits[g.B] {
+			return false
+		}
+		// The fused block must stay duplicate-free; disjointness with
+		// curQubits already implies it, since a duplicate would share
+		// both qubits.
+	}
+	_ = cur
+	return true
+}
+
+func supportOf(b *circuit.Block) map[int]bool {
+	s := make(map[int]bool, 2*len(b.Gates))
+	for _, g := range b.Gates {
+		s[g.A] = true
+		s[g.B] = true
+	}
+	return s
+}
+
+func cloneBlock(b *circuit.Block) *circuit.Block {
+	return &circuit.Block{OneQ: b.OneQ, Gates: append([]circuit.CZ(nil), b.Gates...)}
+}
+
+// Savings reports how many blocks the pass removes for the given circuit
+// and options, without building the fused circuit twice.
+func Savings(c *circuit.Circuit, opts Options) int {
+	return len(c.Blocks) - len(Circuit(c, opts).Blocks)
+}

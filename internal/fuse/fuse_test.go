@@ -1,0 +1,126 @@
+package fuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"powermove/internal/circuit"
+	"powermove/internal/statevec"
+	"powermove/internal/workload"
+)
+
+func TestFusesDisjointRuns(t *testing.T) {
+	c := circuit.New("f", 8)
+	c.AddBlock(2, circuit.NewCZ(0, 1))
+	c.AddBlock(2, circuit.NewCZ(2, 3)) // disjoint from block 0: fuses
+	c.AddBlock(2, circuit.NewCZ(1, 4)) // overlaps qubit 1: new block
+	c.AddBlock(0, circuit.NewCZ(5, 6)) // disjoint: fuses into previous
+
+	got := Circuit(c, Options{})
+	if len(got.Blocks) != 2 {
+		t.Fatalf("%d blocks, want 2: %+v", len(got.Blocks), got.Blocks)
+	}
+	if got.Blocks[0].OneQ != 4 || len(got.Blocks[0].Gates) != 2 {
+		t.Errorf("fused block 0 = %+v", got.Blocks[0])
+	}
+	if len(got.Blocks[1].Gates) != 2 {
+		t.Errorf("fused block 1 = %+v", got.Blocks[1])
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The input is untouched.
+	if len(c.Blocks) != 4 {
+		t.Error("input circuit modified")
+	}
+}
+
+func TestNoFusionOnOverlap(t *testing.T) {
+	c := circuit.New("o", 4)
+	c.AddBlock(0, circuit.NewCZ(0, 1))
+	c.AddBlock(0, circuit.NewCZ(1, 2))
+	got := Circuit(c, Options{})
+	if len(got.Blocks) != 2 {
+		t.Fatalf("overlapping blocks fused: %+v", got.Blocks)
+	}
+}
+
+// TestRepeatedPairNeverFuses: two blocks repeating the same CZ share both
+// qubits, so disjointness forbids the merge — the fused circuit would be
+// invalid otherwise.
+func TestRepeatedPairNeverFuses(t *testing.T) {
+	c := circuit.New("r", 4)
+	c.AddBlock(0, circuit.NewCZ(0, 1))
+	c.AddBlock(0, circuit.NewCZ(0, 1))
+	got := Circuit(c, Options{})
+	if len(got.Blocks) != 2 {
+		t.Fatal("repeated pair fused into an invalid block")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequireEmptyOneQ(t *testing.T) {
+	c := circuit.New("e", 6)
+	c.AddBlock(0, circuit.NewCZ(0, 1))
+	c.AddBlock(1, circuit.NewCZ(2, 3)) // disjoint but carries a 1Q layer
+	strict := Circuit(c, Options{RequireEmptyOneQ: true})
+	if len(strict.Blocks) != 2 {
+		t.Error("strict mode fused a block with a 1Q layer")
+	}
+	relaxed := Circuit(c, Options{})
+	if len(relaxed.Blocks) != 1 {
+		t.Error("relaxed mode did not fuse")
+	}
+}
+
+// TestQSimBenefits: independent Pauli strings share stages after fusion.
+func TestQSimBenefits(t *testing.T) {
+	c := workload.QSim(20, 9)
+	saved := Savings(c, Options{})
+	if saved <= 0 {
+		t.Errorf("fusion saved %d blocks on QSim-20; expected > 0", saved)
+	}
+	fused := Circuit(c, Options{})
+	if fused.CZCount() != c.CZCount() || fused.OneQCount() != c.OneQCount() {
+		t.Error("fusion changed gate counts")
+	}
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionPreservesUnitary: the fused circuit applies the same unitary
+// (CZ gates commute when supports are disjoint; verified numerically on a
+// random state).
+func TestFusionPreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		c := workload.QSim(10, int64(trial))
+		fused := Circuit(c, Options{})
+		ref := statevec.NewRandom(10, rng)
+		got := ref.Clone()
+		for _, b := range c.Blocks {
+			for _, g := range b.Gates {
+				ref.CZ(g.A, g.B)
+			}
+		}
+		for _, b := range fused.Blocks {
+			for _, g := range b.Gates {
+				got.CZ(g.A, g.B)
+			}
+		}
+		if !got.Equal(ref, 1e-9) {
+			t.Fatalf("trial %d: fusion changed the unitary", trial)
+		}
+	}
+}
+
+func TestEmptyCircuit(t *testing.T) {
+	c := circuit.New("empty", 2)
+	got := Circuit(c, Options{})
+	if len(got.Blocks) != 0 {
+		t.Error("empty circuit grew blocks")
+	}
+}

@@ -1,0 +1,109 @@
+// Package geom provides the 2D geometry primitives used throughout the
+// PowerMove compiler: points in the plane (micrometre coordinates),
+// axis-aligned rectangles, and the distance helpers the router and the
+// movement model rely on.
+//
+// Coordinates follow the convention fixed in DESIGN.md: x grows to the
+// right, y grows upward, and all lengths are in micrometres.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in micrometres.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Chebyshev returns the L-infinity distance between p and q. AOD rows and
+// columns move independently, so the duration of a diagonal move is governed
+// by the longer of its two axis projections.
+func (p Point) Chebyshev(q Point) float64 {
+	return math.Max(math.Abs(p.X-q.X), math.Abs(p.Y-q.Y))
+}
+
+// Eq reports whether p and q coincide exactly. Site coordinates are derived
+// from integer grid indices scaled by the site pitch, so exact comparison is
+// well defined for the layouts this compiler produces.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Rect is an axis-aligned rectangle, inclusive of its boundary.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect builds the rectangle spanning the two corner points in any order.
+func NewRect(a, b Point) Rect {
+	r := Rect{Min: a, Max: b}
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r in square micrometres.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies in r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Min, r.Max)
+}
+
+// Sign returns -1, 0, or +1 according to the sign of v. The AOD conflict
+// predicate compares coordinate orderings before and after a move, which
+// reduces to comparing signs of coordinate differences.
+func Sign(v float64) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return +1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,152 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, -2)
+	if got := p.Add(q); got != Pt(4, 2) {
+		t.Errorf("Add = %v, want (4, 2)", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 6) {
+		t.Errorf("Sub = %v, want (2, 6)", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	tests := []struct {
+		p, q                  Point
+		dist, manhattan, cheb float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5, 7, 4},
+		{Pt(1, 1), Pt(1, 1), 0, 0, 0},
+		{Pt(-2, 0), Pt(2, 0), 4, 4, 4},
+		{Pt(0, 0), Pt(-3, -4), 5, 7, 4},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); got != tt.dist {
+			t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.dist)
+		}
+		if got := tt.p.Manhattan(tt.q); got != tt.manhattan {
+			t.Errorf("Manhattan(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.manhattan)
+		}
+		if got := tt.p.Chebyshev(tt.q); got != tt.cheb {
+			t.Errorf("Chebyshev(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.cheb)
+		}
+	}
+}
+
+// TestMetricInequalities checks Chebyshev <= Euclidean <= Manhattan for
+// arbitrary point pairs, plus symmetry of all three metrics.
+func TestMetricInequalities(t *testing.T) {
+	f := func(px, py, qx, qy float64) bool {
+		if anyAbnormal(px, py, qx, qy) {
+			return true
+		}
+		p, q := Pt(px, py), Pt(qx, qy)
+		d, m, c := p.Dist(q), p.Manhattan(q), p.Chebyshev(q)
+		const slack = 1e-9
+		if !(c <= d*(1+slack) && d <= m*(1+slack)+slack) {
+			return false
+		}
+		return d == q.Dist(p) && m == q.Manhattan(p) && c == q.Chebyshev(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyAbnormal(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := NewRect(Pt(5, -1), Pt(-2, 3))
+	if r.Min != Pt(-2, -1) || r.Max != Pt(5, 3) {
+		t.Fatalf("NewRect did not normalize corners: %v", r)
+	}
+	if r.Width() != 7 || r.Height() != 4 {
+		t.Errorf("Width/Height = %v/%v, want 7/4", r.Width(), r.Height())
+	}
+	if r.Area() != 28 {
+		t.Errorf("Area = %v, want 28", r.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	for _, p := range []Point{Pt(0, 0), Pt(10, 10), Pt(5, 5), Pt(0, 10)} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true (boundary inclusive)", p)
+		}
+	}
+	for _, p := range []Point{Pt(-0.1, 5), Pt(5, 10.1), Pt(11, 11)} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(10, 10))
+	tests := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(Pt(5, 5), Pt(15, 15)), true},
+		{NewRect(Pt(10, 10), Pt(20, 20)), true}, // corner touch
+		{NewRect(Pt(11, 0), Pt(20, 10)), false},
+		{NewRect(Pt(0, -5), Pt(10, -1)), false},
+		{NewRect(Pt(2, 2), Pt(3, 3)), true}, // contained
+	}
+	for _, tt := range tests {
+		if got := a.Intersects(tt.b); got != tt.want {
+			t.Errorf("Intersects(%v) = %v, want %v", tt.b, got, tt.want)
+		}
+		if got := tt.b.Intersects(a); got != tt.want {
+			t.Errorf("Intersects not symmetric for %v", tt.b)
+		}
+	}
+}
+
+func TestSign(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{-3.5, -1}, {0, 0}, {2.2, 1}, {math.Copysign(0, -1), 0},
+	}
+	for _, tt := range tests {
+		if got := Sign(tt.v); got != tt.want {
+			t.Errorf("Sign(%v) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Pt(1, 2).Eq(Pt(1, 2)) {
+		t.Error("Eq(identical) = false")
+	}
+	if Pt(1, 2).Eq(Pt(1, 2.0000001)) {
+		t.Error("Eq is exact; near-equal points must differ")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := Pt(1.25, -2).String(); got != "(1.2, -2.0)" {
+		t.Errorf("Point.String = %q", got)
+	}
+	r := NewRect(Pt(0, 0), Pt(1, 1))
+	if got := r.String(); got != "[(0.0, 0.0) - (1.0, 1.0)]" {
+		t.Errorf("Rect.String = %q", got)
+	}
+}

@@ -1,0 +1,176 @@
+package graphutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func star(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func complete(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func maxColor(coloring map[[2]int]int) int {
+	max := -1
+	for _, c := range coloring {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TestEdgeColoringStructuredGraphs checks validity and the Vizing bound on
+// the graph families that appear as interaction graphs in the benchmark
+// suite: paths (VQE chains), stars (QFT blocks, BV), cycles, and cliques.
+func TestEdgeColoringStructuredGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+	}{
+		{"path10", path(10)},
+		{"path2", path(2)},
+		{"cycle5", cycle(5)},
+		{"cycle6", cycle(6)},
+		{"star8", star(8)},
+		{"K4", complete(4)},
+		{"K5", complete(5)},
+		{"K7", complete(7)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			col := tt.g.EdgeColoring()
+			if !tt.g.ValidEdgeColoring(col) {
+				t.Fatal("invalid edge coloring")
+			}
+			if got, bound := maxColor(col), tt.g.MaxDegree(); got > bound {
+				t.Errorf("used color %d, Vizing bound is %d (Delta+1 colors)", got, bound)
+			}
+		})
+	}
+}
+
+// TestEdgeColoringStarIsTight: stars are class-1 graphs where even greedy
+// achieves Delta; Misra-Gries must not exceed it (Delta colors = indices
+// 0..Delta-1).
+func TestEdgeColoringStarIsTight(t *testing.T) {
+	g := star(9)
+	col := g.EdgeColoring()
+	if !g.ValidEdgeColoring(col) {
+		t.Fatal("invalid coloring")
+	}
+	if got := maxColor(col); got != g.MaxDegree()-1 {
+		t.Errorf("star used max color %d, want %d", got, g.MaxDegree()-1)
+	}
+}
+
+func TestEdgeColoringEmptyAndSingle(t *testing.T) {
+	g := NewGraph(5) // no edges
+	if col := g.EdgeColoring(); len(col) != 0 {
+		t.Errorf("empty graph colored %d edges", len(col))
+	}
+	g2 := NewGraph(2)
+	g2.AddEdge(0, 1)
+	col := g2.EdgeColoring()
+	if len(col) != 1 || col[[2]int{0, 1}] != 0 {
+		t.Errorf("single edge coloring = %v", col)
+	}
+}
+
+// TestEdgeColoringRandom is the main correctness property: on arbitrary
+// random graphs the coloring is proper and within Delta+1 colors.
+func TestEdgeColoringRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(40)
+		p := rng.Float64()
+		g := RandomGNP(n, p, rng)
+		col := g.EdgeColoring()
+		if !g.ValidEdgeColoring(col) {
+			t.Fatalf("trial %d: invalid coloring n=%d p=%.2f edges=%d", trial, n, p, g.EdgeCount())
+		}
+		if c := maxColor(col); c > g.MaxDegree() {
+			t.Fatalf("trial %d: color %d exceeds Delta+1 = %d", trial, c, g.MaxDegree()+1)
+		}
+	}
+}
+
+// TestEdgeColoringQuick drives the same invariant through testing/quick.
+func TestEdgeColoringQuick(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		n := 2 + int(nRaw%25)
+		p := float64(pRaw) / 255
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGNP(n, p, rng)
+		col := g.EdgeColoring()
+		return g.ValidEdgeColoring(col) && maxColor(col) <= g.MaxDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidEdgeColoringRejects(t *testing.T) {
+	g := path(3) // edges (0,1), (1,2) share vertex 1
+	if g.ValidEdgeColoring(map[[2]int]int{{0, 1}: 0, {1, 2}: 0}) {
+		t.Error("adjacent edges with equal colors accepted")
+	}
+	if g.ValidEdgeColoring(map[[2]int]int{{0, 1}: 0}) {
+		t.Error("missing edge accepted")
+	}
+	if g.ValidEdgeColoring(map[[2]int]int{{0, 1}: 0, {1, 2}: -1}) {
+		t.Error("negative color accepted")
+	}
+	if !g.ValidEdgeColoring(map[[2]int]int{{0, 1}: 0, {1, 2}: 1}) {
+		t.Error("proper coloring rejected")
+	}
+}
+
+// TestEdgeColoringRegularGraphs exercises the benchmark-relevant case of
+// random 3- and 4-regular interaction graphs.
+func TestEdgeColoringRegularGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{3, 4} {
+		for _, n := range []int{10, 20, 30, 50} {
+			if n*d%2 != 0 {
+				continue
+			}
+			g := RandomRegular(n, d, rng)
+			col := g.EdgeColoring()
+			if !g.ValidEdgeColoring(col) {
+				t.Fatalf("d=%d n=%d: invalid coloring", d, n)
+			}
+			if c := maxColor(col); c > d {
+				t.Errorf("d=%d n=%d: used %d colors, Vizing bound %d", d, n, c+1, d+1)
+			}
+		}
+	}
+}

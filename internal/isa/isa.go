@@ -1,0 +1,137 @@
+// Package isa defines the low-level instruction stream both compilers emit
+// and the executor consumes: parallel single-qubit layers, batches of
+// collective moves distributed across AOD arrays, and global Rydberg
+// pulses. A Program is the compiled artifact; it can be disassembled to a
+// human-readable listing for inspection.
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"powermove/internal/circuit"
+	"powermove/internal/move"
+)
+
+// Instruction is one step of a compiled program. Exactly three concrete
+// types implement it: OneQLayer, MoveBatch, and Rydberg.
+type Instruction interface {
+	isInstruction()
+	// Mnemonic returns a one-line textual rendering of the instruction.
+	Mnemonic() string
+}
+
+// OneQLayer applies Count single-qubit gates in one parallel Raman layer
+// (duration 1 us, Sec. 2.1).
+type OneQLayer struct {
+	Count int
+}
+
+func (OneQLayer) isInstruction() {}
+
+// Mnemonic implements Instruction.
+func (i OneQLayer) Mnemonic() string { return fmt.Sprintf("1q-layer   count=%d", i.Count) }
+
+// MoveBatch executes one Coll-Move per AOD array simultaneously
+// (Sec. 6.2). Groups[k] runs on AOD k; the batch completes when its
+// slowest group does, after one pickup and one dropoff transfer interval.
+type MoveBatch struct {
+	Groups []move.CollMove
+}
+
+func (MoveBatch) isInstruction() {}
+
+// Mnemonic implements Instruction.
+func (i MoveBatch) Mnemonic() string {
+	var parts []string
+	for k, g := range i.Groups {
+		parts = append(parts, fmt.Sprintf("aod%d:%d moves (%.1f um)", k, len(g.Moves), g.MaxDistance()))
+	}
+	return "move-batch " + strings.Join(parts, ", ")
+}
+
+// MovedQubits returns the total number of qubits the batch relocates.
+func (i MoveBatch) MovedQubits() int {
+	n := 0
+	for _, g := range i.Groups {
+		n += len(g.Moves)
+	}
+	return n
+}
+
+// Duration returns the wall-clock time of the batch in microseconds: one
+// pickup and one dropoff transfer plus the slowest group's movement time.
+func (i MoveBatch) Duration() float64 {
+	max := 0.0
+	for _, g := range i.Groups {
+		if d := g.Duration(); d > max {
+			max = d
+		}
+	}
+	return 2*transferDuration + max
+}
+
+// Rydberg fires the global Rydberg laser over the computation zone,
+// executing every scheduled CZ pair in parallel (duration 270 ns).
+type Rydberg struct {
+	// Stage identifies the Rydberg stage for tracing.
+	Stage int
+	// Pairs are the CZ gates this pulse executes.
+	Pairs []circuit.CZ
+}
+
+func (Rydberg) isInstruction() {}
+
+// Mnemonic implements Instruction.
+func (i Rydberg) Mnemonic() string {
+	return fmt.Sprintf("rydberg    stage=%d gates=%d", i.Stage, len(i.Pairs))
+}
+
+// transferDuration mirrors phys.DurationTransfer without importing phys
+// into the hot path; the two are asserted equal by a test.
+const transferDuration = 15.0
+
+// Program is a compiled artifact ready for execution.
+type Program struct {
+	// Name echoes the source circuit's name.
+	Name string
+	// Qubits is the number of program qubits.
+	Qubits int
+	// Instr is the instruction stream in execution order.
+	Instr []Instruction
+}
+
+// Counts tallies the instruction mix of the program.
+type Counts struct {
+	OneQLayers, MoveBatches, Rydbergs int
+	CZGates, OneQGates, MovedQubits   int
+}
+
+// Count returns the instruction mix of p.
+func (p *Program) Count() Counts {
+	var c Counts
+	for _, in := range p.Instr {
+		switch in := in.(type) {
+		case OneQLayer:
+			c.OneQLayers++
+			c.OneQGates += in.Count
+		case MoveBatch:
+			c.MoveBatches++
+			c.MovedQubits += in.MovedQubits()
+		case Rydberg:
+			c.Rydbergs++
+			c.CZGates += len(in.Pairs)
+		}
+	}
+	return c
+}
+
+// Disassemble renders the program as a line-per-instruction listing.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (%d qubits, %d instructions)\n", p.Name, p.Qubits, len(p.Instr))
+	for idx, in := range p.Instr {
+		fmt.Fprintf(&b, "%5d  %s\n", idx, in.Mnemonic())
+	}
+	return b.String()
+}

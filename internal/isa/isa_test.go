@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/move"
+	"powermove/internal/phys"
+)
+
+func testProgram() *Program {
+	a := arch.New(arch.Config{Qubits: 4})
+	m := move.New(a, 0,
+		arch.Site{Zone: arch.Compute, Row: 0, Col: 0},
+		arch.Site{Zone: arch.Compute, Row: 0, Col: 1})
+	return &Program{
+		Name:   "test",
+		Qubits: 4,
+		Instr: []Instruction{
+			OneQLayer{Count: 4},
+			MoveBatch{Groups: []move.CollMove{{Moves: []move.Move{m}}}},
+			Rydberg{Stage: 0, Pairs: []circuit.CZ{circuit.NewCZ(0, 1)}},
+			OneQLayer{Count: 2},
+		},
+	}
+}
+
+// TestTransferDurationMatchesPhys guards the deliberate constant
+// duplication in this package.
+func TestTransferDurationMatchesPhys(t *testing.T) {
+	if transferDuration != phys.DurationTransfer {
+		t.Fatalf("isa transferDuration = %v, phys.DurationTransfer = %v", transferDuration, phys.DurationTransfer)
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := testProgram().Count()
+	if c.OneQLayers != 2 || c.OneQGates != 6 {
+		t.Errorf("1Q counts = %d layers %d gates, want 2/6", c.OneQLayers, c.OneQGates)
+	}
+	if c.MoveBatches != 1 || c.MovedQubits != 1 {
+		t.Errorf("move counts = %d batches %d qubits, want 1/1", c.MoveBatches, c.MovedQubits)
+	}
+	if c.Rydbergs != 1 || c.CZGates != 1 {
+		t.Errorf("Rydberg counts = %d pulses %d gates, want 1/1", c.Rydbergs, c.CZGates)
+	}
+}
+
+func TestMoveBatchDuration(t *testing.T) {
+	a := arch.New(arch.Config{Qubits: 9})
+	short := move.New(a, 0,
+		arch.Site{Zone: arch.Compute, Row: 0, Col: 0},
+		arch.Site{Zone: arch.Compute, Row: 0, Col: 1})
+	long := move.New(a, 1,
+		arch.Site{Zone: arch.Compute, Row: 0, Col: 0},
+		arch.Site{Zone: arch.Storage, Row: 0, Col: 0})
+	b := MoveBatch{Groups: []move.CollMove{
+		{Moves: []move.Move{short}},
+		{Moves: []move.Move{long}},
+	}}
+	want := 2*phys.DurationTransfer + long.Duration()
+	if got := b.Duration(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Duration = %v, want %v (slowest group + 2 transfers)", got, want)
+	}
+	if b.MovedQubits() != 2 {
+		t.Errorf("MovedQubits = %d, want 2", b.MovedQubits())
+	}
+}
+
+func TestMnemonics(t *testing.T) {
+	p := testProgram()
+	wantPieces := []string{"1q-layer", "move-batch", "rydberg"}
+	for i, piece := range wantPieces {
+		if got := p.Instr[i].Mnemonic(); !strings.Contains(got, piece) {
+			t.Errorf("instr %d mnemonic %q missing %q", i, got, piece)
+		}
+	}
+	if got := (Rydberg{Stage: 3, Pairs: []circuit.CZ{circuit.NewCZ(0, 1)}}).Mnemonic(); !strings.Contains(got, "stage=3") {
+		t.Errorf("Rydberg mnemonic = %q", got)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	out := testProgram().Disassemble()
+	if !strings.Contains(out, "program test (4 qubits, 4 instructions)") {
+		t.Errorf("header missing: %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("listing has %d lines, want 5", got)
+	}
+}

@@ -1,0 +1,275 @@
+package move
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powermove/internal/arch"
+	"powermove/internal/phys"
+)
+
+func testArch() *arch.Arch { return arch.New(arch.Config{Qubits: 25}) }
+
+func mk(t *testing.T, a *arch.Arch, q int, fz arch.Zone, fr, fc int, tz arch.Zone, tr, tc int) Move {
+	t.Helper()
+	return New(a, q, arch.Site{Zone: fz, Row: fr, Col: fc}, arch.Site{Zone: tz, Row: tr, Col: tc})
+}
+
+func TestMoveBasics(t *testing.T) {
+	a := testArch()
+	m := mk(t, a, 3, arch.Compute, 0, 0, arch.Compute, 0, 2)
+	if got := m.Distance(); got != 30 {
+		t.Errorf("Distance = %v, want 30", got)
+	}
+	if got := m.Duration(); math.Abs(got-phys.MoveTime(30)) > 1e-12 {
+		t.Errorf("Duration = %v, want %v", got, phys.MoveTime(30))
+	}
+	if m.CrossesZones() || m.IntoStorage() || m.OutOfStorage() {
+		t.Error("intra-zone move misclassified")
+	}
+
+	down := mk(t, a, 1, arch.Compute, 0, 0, arch.Storage, 9, 0)
+	if !down.CrossesZones() || !down.IntoStorage() || down.OutOfStorage() {
+		t.Error("move into storage misclassified")
+	}
+	up := mk(t, a, 1, arch.Storage, 9, 0, arch.Compute, 0, 0)
+	if !up.OutOfStorage() || up.IntoStorage() {
+		t.Error("move out of storage misclassified")
+	}
+}
+
+// TestConflictsFig5 encodes the three panels of Fig. 5 of the paper plus
+// the compatible configurations around them (using site columns 0, 1, 2 at
+// 15 um pitch on one row).
+func TestConflictsFig5(t *testing.T) {
+	a := testArch()
+	at := func(c int) arch.Site { return arch.Site{Zone: arch.Compute, Row: 0, Col: c} }
+	mv := func(q, from, to int) Move { return New(a, q, at(from), at(to)) }
+
+	cases := []struct {
+		name     string
+		m1, m2   Move
+		conflict bool
+	}{
+		{"equal start, diverging end (panel 1)", mv(1, 1, 0), mv(2, 1, 2), true},
+		{"order inversion (panel 2)", mv(1, 2, 0), mv(2, 1, 2), true},
+		{"distinct start, merged end (panel 3)", mv(1, 2, 1), mv(2, 0, 1), true},
+		{"parallel shift", mv(1, 0, 1), mv(2, 1, 2), false},
+		{"stretch", mv(1, 1, 0), mv(2, 2, 3), false},
+		{"contract preserving order", mv(1, 0, 1), mv(2, 3, 2), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Conflicts(tc.m1, tc.m2); got != tc.conflict {
+				t.Errorf("Conflicts = %v, want %v", got, tc.conflict)
+			}
+		})
+	}
+}
+
+// TestConflictsYAxis: the same rules apply independently on y.
+func TestConflictsYAxis(t *testing.T) {
+	a := testArch()
+	at := func(r int) arch.Site { return arch.Site{Zone: arch.Compute, Row: r, Col: 0} }
+	m1 := New(a, 1, at(0), at(2))
+	m2 := New(a, 2, at(2), at(1))
+	if !Conflicts(m1, m2) {
+		t.Error("row order inversion not detected")
+	}
+	m3 := New(a, 3, at(3), at(4))
+	if Conflicts(m1, m3) {
+		t.Error("order-preserving row moves flagged")
+	}
+}
+
+// TestConflictsSymmetricQuick: the predicate is symmetric for arbitrary
+// site pairs.
+func TestConflictsSymmetricQuick(t *testing.T) {
+	a := testArch()
+	sites := append(append([]arch.Site{}, a.Sites(arch.Compute)...), a.Sites(arch.Storage)...)
+	f := func(i1, j1, i2, j2 uint16) bool {
+		n := len(sites)
+		m1 := New(a, 0, sites[int(i1)%n], sites[int(j1)%n])
+		m2 := New(a, 1, sites[int(i2)%n], sites[int(j2)%n])
+		return Conflicts(m1, m2) == Conflicts(m2, m1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSameDisplacementNeverConflicts is the invariant the default
+// grouping's bucketing rests on.
+func TestSameDisplacementNeverConflicts(t *testing.T) {
+	a := testArch()
+	sites := a.Sites(arch.Compute)
+	f := func(i1, i2 uint16, drRaw, dcRaw int8) bool {
+		dr, dc := int(drRaw)%3, int(dcRaw)%3
+		s1 := sites[int(i1)%len(sites)]
+		s2 := sites[int(i2)%len(sites)]
+		t1 := arch.Site{Zone: arch.Compute, Row: s1.Row + dr, Col: s1.Col + dc}
+		t2 := arch.Site{Zone: arch.Compute, Row: s2.Row + dr, Col: s2.Col + dc}
+		if !a.InBounds(t1) || !a.InBounds(t2) {
+			return true
+		}
+		return !Conflicts(New(a, 0, s1, t1), New(a, 1, s2, t2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMoves(a *arch.Arch, n int, rng *rand.Rand) []Move {
+	sites := append(append([]arch.Site{}, a.Sites(arch.Compute)...), a.Sites(arch.Storage)...)
+	moves := make([]Move, 0, n)
+	for q := 0; q < n; q++ {
+		from := sites[rng.Intn(len(sites))]
+		to := sites[rng.Intn(len(sites))]
+		moves = append(moves, New(a, q, from, to))
+	}
+	return moves
+}
+
+// TestGroupingsProduceValidCollMoves: all three grouping strategies yield
+// groups whose members are pairwise conflict-free and cover every
+// non-trivial move exactly once.
+func TestGroupingsProduceValidCollMoves(t *testing.T) {
+	a := testArch()
+	rng := rand.New(rand.NewSource(5))
+	strategies := map[string]func([]Move) []CollMove{
+		"Group":           Group,
+		"GroupByDistance": GroupByDistance,
+		"GroupInOrder":    GroupInOrder,
+	}
+	for trial := 0; trial < 40; trial++ {
+		moves := randomMoves(a, 1+rng.Intn(60), rng)
+		wantCount := 0
+		for _, m := range moves {
+			if m.FromSite != m.ToSite {
+				wantCount++
+			}
+		}
+		for name, group := range strategies {
+			groups := group(moves)
+			total := 0
+			seen := make(map[int]bool)
+			for _, g := range groups {
+				if !g.Valid() {
+					t.Fatalf("%s trial %d: conflicting group", name, trial)
+				}
+				if len(g.Moves) == 0 {
+					t.Fatalf("%s trial %d: empty group", name, trial)
+				}
+				for _, m := range g.Moves {
+					if seen[m.Qubit] {
+						t.Fatalf("%s trial %d: qubit %d grouped twice", name, trial, m.Qubit)
+					}
+					seen[m.Qubit] = true
+				}
+				total += len(g.Moves)
+			}
+			if total != wantCount {
+				t.Fatalf("%s trial %d: grouped %d moves, want %d", name, trial, total, wantCount)
+			}
+		}
+	}
+}
+
+// TestGroupDropsZeroMoves: a qubit staying on its site needs no Coll-Move.
+func TestGroupDropsZeroMoves(t *testing.T) {
+	a := testArch()
+	s := arch.Site{Zone: arch.Compute, Row: 0, Col: 0}
+	moves := []Move{New(a, 0, s, s)}
+	for name, group := range map[string]func([]Move) []CollMove{
+		"Group": Group, "GroupByDistance": GroupByDistance, "GroupInOrder": GroupInOrder,
+	} {
+		if got := group(moves); len(got) != 0 {
+			t.Errorf("%s kept a zero-length move: %v", name, got)
+		}
+	}
+}
+
+// TestGroupMergesUniformShift: a uniform right-shift of many qubits packs
+// into exactly one Coll-Move.
+func TestGroupMergesUniformShift(t *testing.T) {
+	a := testArch()
+	var moves []Move
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 4; c++ {
+			moves = append(moves, mk(t, a, r*4+c, arch.Compute, r, c, arch.Compute, r, c+1))
+		}
+	}
+	groups := Group(moves)
+	if len(groups) != 1 {
+		t.Fatalf("uniform shift grouped into %d Coll-Moves, want 1", len(groups))
+	}
+	if len(groups[0].Moves) != 20 {
+		t.Fatalf("group has %d moves, want 20", len(groups[0].Moves))
+	}
+}
+
+// TestGroupNeverWorseThanByDistance on the group-count objective for the
+// uniform and random patterns exercised here.
+func TestGroupBeatsOrMatchesFirstFitOnUniform(t *testing.T) {
+	a := testArch()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		moves := randomMoves(a, 40, rng)
+		merged := len(Group(moves))
+		byDist := len(GroupByDistance(moves))
+		if merged > byDist+2 {
+			t.Errorf("trial %d: bucketed grouping used %d groups, first-fit %d", trial, merged, byDist)
+		}
+	}
+}
+
+func TestCollMoveMetrics(t *testing.T) {
+	a := testArch()
+	g := CollMove{Moves: []Move{
+		mk(t, a, 0, arch.Compute, 0, 0, arch.Compute, 0, 1), // 15 um
+		mk(t, a, 1, arch.Compute, 2, 0, arch.Compute, 2, 3), // 45 um
+	}}
+	if got := g.MaxDistance(); got != 45 {
+		t.Errorf("MaxDistance = %v, want 45", got)
+	}
+	if got := g.Duration(); math.Abs(got-phys.MoveTime(45)) > 1e-12 {
+		t.Errorf("Duration = %v, want %v", got, phys.MoveTime(45))
+	}
+	if TotalDuration([]CollMove{g, g}) != 2*g.Duration() {
+		t.Error("TotalDuration wrong")
+	}
+}
+
+func TestNetStorageFlow(t *testing.T) {
+	a := testArch()
+	g := CollMove{Moves: []Move{
+		mk(t, a, 0, arch.Compute, 0, 0, arch.Storage, 9, 0), // in
+		mk(t, a, 1, arch.Compute, 1, 1, arch.Storage, 9, 1), // in
+		mk(t, a, 2, arch.Storage, 8, 0, arch.Compute, 0, 1), // out
+		mk(t, a, 3, arch.Compute, 2, 2, arch.Compute, 2, 3), // neither
+	}}
+	if got := g.NetStorageFlow(); got != 1 {
+		t.Errorf("NetStorageFlow = %d, want 1", got)
+	}
+}
+
+func TestValidDetectsConflict(t *testing.T) {
+	a := testArch()
+	bad := CollMove{Moves: []Move{
+		mk(t, a, 0, arch.Compute, 0, 0, arch.Compute, 0, 2),
+		mk(t, a, 1, arch.Compute, 0, 2, arch.Compute, 0, 0),
+	}}
+	if bad.Valid() {
+		t.Error("crossing moves accepted")
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	a := testArch()
+	m := mk(t, a, 7, arch.Compute, 0, 0, arch.Storage, 1, 2)
+	if got := m.String(); got != "q7: compute[0,0] -> storage[1,2]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Package phys encodes the physical model of the neutral-atom hardware that
+// the PowerMove paper evaluates against (Table 1 of the paper): operation
+// fidelities, operation durations, the AOD movement-time law, and the
+// geometric constants of the zoned architecture.
+//
+// All durations are expressed in microseconds and all lengths in
+// micrometres; fidelities are dimensionless probabilities in (0, 1].
+package phys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fidelities of the elementary operations (Table 1 of the paper).
+const (
+	// FidelityOneQubit is the fidelity of a single-qubit Raman rotation.
+	FidelityOneQubit = 0.9999
+	// FidelityCZ is the fidelity of a two-qubit CZ gate executed by a
+	// global Rydberg pulse on a co-located pair.
+	FidelityCZ = 0.995
+	// FidelityExcitation is the fidelity retained by a non-interacting
+	// qubit that sits in the computation zone during a Rydberg pulse.
+	FidelityExcitation = 0.9975
+	// FidelityTransfer is the fidelity of one qubit transfer between a
+	// static SLM trap and a mobile AOD trap (pickup or dropoff).
+	FidelityTransfer = 0.999
+)
+
+// Durations of the elementary operations, in microseconds (Table 1).
+const (
+	// DurationOneQubit is the duration of a parallel single-qubit layer.
+	DurationOneQubit = 1.0
+	// DurationCZ is the duration of the global Rydberg pulse that
+	// executes all CZ gates of a stage.
+	DurationCZ = 0.27
+	// DurationTransfer is the duration of one SLM<->AOD transfer.
+	DurationTransfer = 15.0
+)
+
+// CoherenceTime is the T2 coherence time of a neutral-atom qubit in the
+// computation zone, in microseconds (1.5 s in the paper). Idle time T_q
+// accumulated outside the storage zone contributes a multiplicative
+// decoherence factor (1 - T_q/CoherenceTime) to the output fidelity.
+const CoherenceTime = 1.5e6
+
+// MaxAcceleration is the maximum AOD acceleration that preserves qubit
+// fidelity, in m/s^2 (Sec. 2.1 of the paper).
+const MaxAcceleration = 2750.0
+
+// Geometry of the zoned architecture (Sec. 5.1 and Sec. 7.1 of the paper).
+const (
+	// SitePitch is the minimal spacing between adjacent qubit sites, in
+	// micrometres.
+	SitePitch = 15.0
+	// ZoneGap is the vertical separation between the computation zone
+	// and the storage zone, in micrometres.
+	ZoneGap = 30.0
+	// RydbergRadius is the maximal distance at which two atoms interact
+	// under a Rydberg pulse, in micrometres.
+	RydbergRadius = 6.0
+	// MinSeparation is the minimal spacing that non-interacting qubits
+	// must keep during a Rydberg pulse to avoid unwanted interactions,
+	// in micrometres.
+	MinSeparation = 10.0
+)
+
+// MoveTime returns the duration, in microseconds, of a collective move that
+// covers dist micrometres under the acceleration limit of Sec. 2.1.
+//
+// The law is t = sqrt(d / a). It reproduces the paper's two worked
+// examples: 100 us for a 27.5 um move and 200 us for a 110 um move.
+func MoveTime(dist float64) float64 {
+	if dist <= 0 {
+		return 0
+	}
+	meters := dist * 1e-6
+	seconds := math.Sqrt(meters / MaxAcceleration)
+	return seconds * 1e6
+}
+
+// MoveDist inverts MoveTime: it returns the distance, in micrometres, that
+// a collective move of the given duration (microseconds) covers.
+func MoveDist(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	seconds := t * 1e-6
+	return seconds * seconds * MaxAcceleration * 1e6
+}
+
+// DecoherenceFactor returns the fidelity retained by one qubit that spent
+// idle microseconds outside the storage zone without being operated on:
+// 1 - idle/T2, floored at zero for pathological inputs.
+func DecoherenceFactor(idle float64) float64 {
+	f := 1 - idle/CoherenceTime
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Pow returns base^n for a non-negative integer exponent. It is the
+// workhorse for the f^g terms of the output-fidelity formula and avoids
+// the domain checks of math.Pow for the hot paths of the simulator.
+func Pow(base float64, n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("phys.Pow: negative exponent %d", n))
+	}
+	result := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			result *= base
+		}
+		base *= base
+	}
+	return result
+}

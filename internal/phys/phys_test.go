@@ -1,0 +1,145 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestMoveTimeMatchesPaperExamples reproduces the two worked examples of
+// Table 1 / Sec. 2.1 of the paper: a 27.5 um move takes 100 us and a
+// 110 um move takes 200 us under the acceleration limit (experiment E10
+// of DESIGN.md).
+func TestMoveTimeMatchesPaperExamples(t *testing.T) {
+	tests := []struct {
+		dist, want float64
+	}{
+		{27.5, 100},
+		{110, 200},
+	}
+	for _, tt := range tests {
+		got := MoveTime(tt.dist)
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("MoveTime(%v um) = %v us, want %v us", tt.dist, got, tt.want)
+		}
+	}
+}
+
+func TestMoveTimeEdgeCases(t *testing.T) {
+	if got := MoveTime(0); got != 0 {
+		t.Errorf("MoveTime(0) = %v, want 0", got)
+	}
+	if got := MoveTime(-5); got != 0 {
+		t.Errorf("MoveTime(-5) = %v, want 0 (clamped)", got)
+	}
+}
+
+// TestMoveDistInvertsMoveTime checks the round-trip property on positive
+// distances.
+func TestMoveDistInvertsMoveTime(t *testing.T) {
+	f := func(raw float64) bool {
+		d := math.Mod(math.Abs(raw), 1e4) // plausible distances, um
+		if d == 0 || math.IsNaN(d) {
+			return true
+		}
+		back := MoveDist(MoveTime(d))
+		return math.Abs(back-d) < 1e-6*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := MoveDist(0); got != 0 {
+		t.Errorf("MoveDist(0) = %v, want 0", got)
+	}
+	if got := MoveDist(-1); got != 0 {
+		t.Errorf("MoveDist(-1) = %v, want 0 (clamped)", got)
+	}
+}
+
+// TestMoveTimeMonotone: longer moves never take less time.
+func TestMoveTimeMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		da := math.Mod(math.Abs(a), 1e4)
+		db := math.Mod(math.Abs(b), 1e4)
+		if math.IsNaN(da) || math.IsNaN(db) {
+			return true
+		}
+		if da > db {
+			da, db = db, da
+		}
+		return MoveTime(da) <= MoveTime(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoherenceFactor(t *testing.T) {
+	if got := DecoherenceFactor(0); got != 1 {
+		t.Errorf("DecoherenceFactor(0) = %v, want 1", got)
+	}
+	// Half the coherence time leaves half the fidelity under the
+	// paper's linear model.
+	if got := DecoherenceFactor(CoherenceTime / 2); got != 0.5 {
+		t.Errorf("DecoherenceFactor(T2/2) = %v, want 0.5", got)
+	}
+	// Pathological idle times beyond T2 clamp at zero rather than
+	// going negative.
+	if got := DecoherenceFactor(2 * CoherenceTime); got != 0 {
+		t.Errorf("DecoherenceFactor(2*T2) = %v, want 0", got)
+	}
+}
+
+func TestPowMatchesMathPow(t *testing.T) {
+	f := func(e uint8) bool {
+		n := int(e % 64)
+		want := math.Pow(FidelityCZ, float64(n))
+		got := Pow(FidelityCZ, n)
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := Pow(0.5, 0); got != 1 {
+		t.Errorf("Pow(x, 0) = %v, want 1", got)
+	}
+}
+
+func TestPowPanicsOnNegativeExponent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow(-1 exponent) did not panic")
+		}
+	}()
+	Pow(0.5, -1)
+}
+
+// TestTable1Parameters pins the physical constants to the values of
+// Table 1 of the paper (experiment E1 of DESIGN.md). A change to any of
+// these silently alters every reproduced number, so they are asserted
+// exactly.
+func TestTable1Parameters(t *testing.T) {
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"1Q fidelity", FidelityOneQubit, 0.9999},
+		{"CZ fidelity", FidelityCZ, 0.995},
+		{"excitation fidelity", FidelityExcitation, 0.9975},
+		{"transfer fidelity", FidelityTransfer, 0.999},
+		{"1Q duration (us)", DurationOneQubit, 1},
+		{"CZ duration (us)", DurationCZ, 0.27},
+		{"transfer duration (us)", DurationTransfer, 15},
+		{"coherence time (us)", CoherenceTime, 1.5e6},
+		{"max acceleration (m/s^2)", MaxAcceleration, 2750},
+		{"site pitch (um)", SitePitch, 15},
+		{"zone gap (um)", ZoneGap, 30},
+		{"Rydberg radius (um)", RydbergRadius, 6},
+		{"min separation (um)", MinSeparation, 10},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}

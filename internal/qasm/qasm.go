@@ -1,0 +1,362 @@
+// Package qasm ingests quantum programs written in a practical subset of
+// OpenQASM 2.0 and lowers them to the compiler's synthesized IR
+// (internal/circuit): alternating single-qubit layers and commutable CZ
+// blocks.
+//
+// Supported statements:
+//
+//	OPENQASM 2.0;
+//	include "qelib1.inc";          // accepted and ignored
+//	qreg q[n];                     // exactly one quantum register
+//	creg c[n];                     // accepted and ignored
+//	h|x|y|z|s|sdg|t|tdg q[i];      // single-qubit gates
+//	rx|ry|rz|u1|p (expr) q[i];     // parameterized single-qubit gates
+//	cz q[i], q[j];                 // native two-qubit gate
+//	cx q[i], q[j];                 // lowered to H(t); CZ; H(t)
+//	cp|crz (expr) q[i], q[j];      // lowered to CZ + single-qubit phases
+//	barrier ...;                   // forces a new CZ block
+//	measure q[i] -> c[i];          // accepted and ignored
+//
+// Gate parameters are not evaluated — scheduling depends only on gate
+// placement — but their syntax is validated.
+//
+// Block formation follows the synthesis convention of Sec. 2.2: CZ gates
+// accumulate into the current commutable block; a single-qubit gate on a
+// qubit already touched by the current block's CZ gates closes the block
+// (diagonal CZ gates commute with each other but not with that rotation),
+// while single-qubit gates on untouched qubits join the layer that
+// precedes the block.
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"powermove/internal/circuit"
+)
+
+// Program is the parsed form of a QASM source file.
+type Program struct {
+	// Qubits is the size of the quantum register.
+	Qubits int
+	// Circuit is the lowered IR.
+	Circuit *circuit.Circuit
+	// OneQGates and TwoQGates count the source-level gates after
+	// lowering (a cx contributes two 1Q gates and one CZ).
+	OneQGates, TwoQGates int
+}
+
+// SyntaxError reports a parse failure with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse lowers QASM source text to the compiler IR. The circuit is named
+// after the name argument.
+func Parse(name, src string) (*Program, error) {
+	p := &parser{name: name}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.finish()
+}
+
+// oneQGates is the set of unparameterized single-qubit gate names.
+var oneQGates = map[string]bool{
+	"h": true, "x": true, "y": true, "z": true,
+	"s": true, "sdg": true, "t": true, "tdg": true, "id": true,
+}
+
+// paramOneQGates is the set of parameterized single-qubit gate names.
+var paramOneQGates = map[string]bool{
+	"rx": true, "ry": true, "rz": true, "u1": true, "p": true,
+}
+
+// paramTwoQGates is the set of parameterized controlled-phase gates that
+// lower to CZ plus single-qubit corrections.
+var paramTwoQGates = map[string]bool{
+	"cp": true, "crz": true, "cu1": true,
+}
+
+// blockBuilder accumulates the current CZ block during parsing.
+type blockBuilder struct {
+	oneQ    int
+	gates   []circuit.CZ
+	touched map[int]bool
+	seen    map[circuit.CZ]bool
+}
+
+func newBlockBuilder() *blockBuilder {
+	return &blockBuilder{touched: make(map[int]bool), seen: make(map[circuit.CZ]bool)}
+}
+
+func (b *blockBuilder) empty() bool { return b.oneQ == 0 && len(b.gates) == 0 }
+
+type parser struct {
+	name    string
+	line    int
+	qubits  int
+	regName string
+	sawHdr  bool
+	blocks  []circuit.Block
+	cur     *blockBuilder
+	oneQ    int
+	twoQ    int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) run(src string) error {
+	p.cur = newBlockBuilder()
+	for i, raw := range strings.Split(src, "\n") {
+		p.line = i + 1
+		line := stripComment(raw)
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := p.statement(stmt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// statement dispatches one semicolon-terminated statement.
+func (p *parser) statement(stmt string) error {
+	head := stmt
+	if i := strings.IndexAny(stmt, " \t("); i >= 0 {
+		head = stmt[:i]
+	}
+	switch strings.ToLower(head) {
+	case "openqasm":
+		p.sawHdr = true
+		return nil
+	case "include", "creg", "measure", "reset":
+		return nil
+	case "qreg":
+		return p.qreg(stmt)
+	case "barrier":
+		p.closeBlock()
+		return nil
+	case "cz", "cx":
+		return p.twoQubit(strings.ToLower(head), stmt)
+	}
+	lower := strings.ToLower(head)
+	if oneQGates[lower] {
+		return p.oneQubit(stmt, false)
+	}
+	if paramOneQGates[lower] {
+		return p.oneQubit(stmt, true)
+	}
+	if paramTwoQGates[lower] {
+		return p.twoQubit(lower, stmt)
+	}
+	return p.errf("unsupported statement %q", stmt)
+}
+
+func (p *parser) qreg(stmt string) error {
+	if p.qubits > 0 {
+		return p.errf("multiple qreg declarations")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "qreg"))
+	open := strings.Index(rest, "[")
+	closing := strings.Index(rest, "]")
+	if open < 0 || closing < open {
+		return p.errf("malformed qreg %q", stmt)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : closing]))
+	if err != nil || n <= 0 {
+		return p.errf("bad register size in %q", stmt)
+	}
+	p.regName = strings.TrimSpace(rest[:open])
+	if p.regName == "" {
+		return p.errf("missing register name in %q", stmt)
+	}
+	p.qubits = n
+	return nil
+}
+
+// operand parses "q[3]" into qubit index 3.
+func (p *parser) operand(tok string) (int, error) {
+	tok = strings.TrimSpace(tok)
+	open := strings.Index(tok, "[")
+	closing := strings.Index(tok, "]")
+	if open < 0 || closing < open {
+		return 0, p.errf("malformed operand %q", tok)
+	}
+	reg := strings.TrimSpace(tok[:open])
+	if p.qubits == 0 {
+		return 0, p.errf("gate before qreg declaration")
+	}
+	if reg != p.regName {
+		return 0, p.errf("unknown register %q", reg)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(tok[open+1 : closing]))
+	if err != nil {
+		return 0, p.errf("bad qubit index in %q", tok)
+	}
+	if idx < 0 || idx >= p.qubits {
+		return 0, p.errf("qubit index %d out of range [0, %d)", idx, p.qubits)
+	}
+	return idx, nil
+}
+
+// args splits the operand list after an optional "(param)" group.
+func (p *parser) args(stmt string, param bool) ([]string, error) {
+	rest := stmt
+	if i := strings.IndexAny(rest, " \t("); i >= 0 {
+		rest = rest[i:]
+	} else {
+		return nil, p.errf("missing operands in %q", stmt)
+	}
+	rest = strings.TrimSpace(rest)
+	if param {
+		if !strings.HasPrefix(rest, "(") {
+			return nil, p.errf("missing parameter list in %q", stmt)
+		}
+		closing := strings.Index(rest, ")")
+		if closing < 0 {
+			return nil, p.errf("unterminated parameter list in %q", stmt)
+		}
+		if strings.TrimSpace(rest[1:closing]) == "" {
+			return nil, p.errf("empty parameter list in %q", stmt)
+		}
+		rest = strings.TrimSpace(rest[closing+1:])
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, p.errf("empty operand in %q", stmt)
+		}
+	}
+	return parts, nil
+}
+
+func (p *parser) oneQubit(stmt string, param bool) error {
+	ops, err := p.args(stmt, param)
+	if err != nil {
+		return err
+	}
+	if len(ops) != 1 {
+		return p.errf("single-qubit gate with %d operands in %q", len(ops), stmt)
+	}
+	q, err := p.operand(ops[0])
+	if err != nil {
+		return err
+	}
+	p.addOneQ(q)
+	return nil
+}
+
+func (p *parser) twoQubit(gate, stmt string) error {
+	param := paramTwoQGates[gate]
+	ops, err := p.args(stmt, param)
+	if err != nil {
+		return err
+	}
+	if len(ops) != 2 {
+		return p.errf("two-qubit gate with %d operands in %q", len(ops), stmt)
+	}
+	a, err := p.operand(ops[0])
+	if err != nil {
+		return err
+	}
+	b, err := p.operand(ops[1])
+	if err != nil {
+		return err
+	}
+	if a == b {
+		return p.errf("two-qubit gate on identical qubit %d", a)
+	}
+	switch gate {
+	case "cz":
+		p.addCZ(a, b)
+	case "cx":
+		// cx = (I ⊗ H) CZ (I ⊗ H): basis change on the target.
+		p.addOneQ(b)
+		p.addCZ(a, b)
+		p.addOneQ(b)
+	default:
+		// Controlled-phase family: CZ up to single-qubit phases,
+		// which merge into the surrounding layers.
+		p.addOneQ(a)
+		p.addOneQ(b)
+		p.addCZ(a, b)
+	}
+	return nil
+}
+
+// addOneQ records a single-qubit gate on q. If the current block's CZ
+// gates already touch q, the rotation does not commute with them and a new
+// block begins; otherwise it joins the current block's leading layer.
+func (p *parser) addOneQ(q int) {
+	if p.cur.touched[q] {
+		p.closeBlock()
+	}
+	p.cur.oneQ++
+	p.oneQ++
+}
+
+// addCZ appends a CZ to the current block, closing the block first if the
+// same pair already appears in it (two CZs on one pair cannot share a
+// block's disjoint stages).
+func (p *parser) addCZ(a, b int) {
+	g := circuit.NewCZ(a, b)
+	if p.cur.seen[g] {
+		p.closeBlock()
+	}
+	p.cur.gates = append(p.cur.gates, g)
+	p.cur.seen[g] = true
+	p.cur.touched[a] = true
+	p.cur.touched[b] = true
+	p.twoQ++
+}
+
+func (p *parser) closeBlock() {
+	if p.cur.empty() {
+		return
+	}
+	p.blocks = append(p.blocks, circuit.Block{OneQ: p.cur.oneQ, Gates: p.cur.gates})
+	p.cur = newBlockBuilder()
+}
+
+func (p *parser) finish() (*Program, error) {
+	if !p.sawHdr {
+		return nil, &SyntaxError{Line: 1, Msg: "missing OPENQASM header"}
+	}
+	if p.qubits == 0 {
+		return nil, &SyntaxError{Line: 1, Msg: "missing qreg declaration"}
+	}
+	p.closeBlock()
+	c := circuit.New(p.name, p.qubits)
+	c.Blocks = p.blocks
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("qasm: lowered circuit invalid: %w", err)
+	}
+	return &Program{
+		Qubits:    p.qubits,
+		Circuit:   c,
+		OneQGates: p.oneQ,
+		TwoQGates: p.twoQ,
+	}, nil
+}

@@ -1,0 +1,205 @@
+package qasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"powermove/internal/circuit"
+)
+
+const header = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\n"
+
+func parse(t *testing.T, body string) *Program {
+	t.Helper()
+	p, err := Parse("test", header+body)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseMinimal(t *testing.T) {
+	p := parse(t, "cz q[0], q[1];\n")
+	if p.Qubits != 4 {
+		t.Errorf("Qubits = %d, want 4", p.Qubits)
+	}
+	if p.TwoQGates != 1 || p.OneQGates != 0 {
+		t.Errorf("gate counts = %d/%d", p.OneQGates, p.TwoQGates)
+	}
+	if len(p.Circuit.Blocks) != 1 || p.Circuit.Blocks[0].Gates[0] != circuit.NewCZ(0, 1) {
+		t.Errorf("blocks = %+v", p.Circuit.Blocks)
+	}
+}
+
+func TestParseOneQubitGates(t *testing.T) {
+	p := parse(t, "h q[0];\nx q[1];\nrz(pi/4) q[2];\nu1(0.5) q[3];\nsdg q[0];\n")
+	if p.OneQGates != 5 || p.TwoQGates != 0 {
+		t.Errorf("gate counts = %d/%d, want 5/0", p.OneQGates, p.TwoQGates)
+	}
+	if len(p.Circuit.Blocks) != 1 || p.Circuit.Blocks[0].OneQ != 5 {
+		t.Errorf("blocks = %+v", p.Circuit.Blocks)
+	}
+}
+
+// TestCXLowering: cx becomes H(target) CZ H(target).
+func TestCXLowering(t *testing.T) {
+	p := parse(t, "cx q[0], q[1];\n")
+	if p.OneQGates != 2 || p.TwoQGates != 1 {
+		t.Errorf("cx lowered to %d 1Q + %d CZ, want 2 + 1", p.OneQGates, p.TwoQGates)
+	}
+}
+
+// TestCPLowering: controlled-phase becomes CZ plus two 1Q phases.
+func TestCPLowering(t *testing.T) {
+	p := parse(t, "cp(0.3) q[2], q[3];\ncrz(1.0) q[0], q[1];\n")
+	if p.TwoQGates != 2 || p.OneQGates != 4 {
+		t.Errorf("gate counts = %d/%d, want 4/2", p.OneQGates, p.TwoQGates)
+	}
+}
+
+// TestBlockBreaking: a rotation on a qubit already touched by the current
+// block's CZ gates starts a new block; rotations on untouched qubits
+// do not.
+func TestBlockBreaking(t *testing.T) {
+	p := parse(t, "cz q[0], q[1];\nh q[3];\ncz q[2], q[3];\nh q[0];\ncz q[0], q[2];\n")
+	// cz(0,1) and cz(2,3) share a block (the h on 3 precedes a CZ on 3
+	// but 3 was untouched at that point... it touches after cz(2,3)).
+	// Sequence: cz(0,1) -> block A gates {01}; h q[3]: 3 untouched in A
+	// so joins A's layer; cz(2,3) joins A; h q[0]: 0 touched in A ->
+	// new block B with the h; cz(0,2) joins B.
+	if len(p.Circuit.Blocks) != 2 {
+		t.Fatalf("%d blocks, want 2: %+v", len(p.Circuit.Blocks), p.Circuit.Blocks)
+	}
+	a, b := p.Circuit.Blocks[0], p.Circuit.Blocks[1]
+	if len(a.Gates) != 2 || a.OneQ != 1 {
+		t.Errorf("block A = %+v, want 2 CZ + 1 1Q", a)
+	}
+	if len(b.Gates) != 1 || b.OneQ != 1 {
+		t.Errorf("block B = %+v, want 1 CZ + 1 1Q", b)
+	}
+}
+
+// TestRepeatedPairBreaksBlock: the same CZ twice cannot share a block.
+func TestRepeatedPairBreaksBlock(t *testing.T) {
+	p := parse(t, "cz q[0], q[1];\ncz q[1], q[0];\n")
+	if len(p.Circuit.Blocks) != 2 {
+		t.Fatalf("%d blocks, want 2", len(p.Circuit.Blocks))
+	}
+}
+
+func TestBarrierBreaksBlock(t *testing.T) {
+	p := parse(t, "cz q[0], q[1];\nbarrier q;\ncz q[2], q[3];\n")
+	if len(p.Circuit.Blocks) != 2 {
+		t.Fatalf("%d blocks, want 2", len(p.Circuit.Blocks))
+	}
+}
+
+func TestIgnoredStatements(t *testing.T) {
+	p := parse(t, "creg c[4];\nmeasure q[0] -> c[0];\nreset q[1];\ncz q[0], q[1]; // trailing comment\n")
+	if p.TwoQGates != 1 {
+		t.Errorf("TwoQGates = %d, want 1", p.TwoQGates)
+	}
+}
+
+func TestMultipleStatementsPerLine(t *testing.T) {
+	p := parse(t, "h q[0]; h q[1]; cz q[0], q[1];\n")
+	if p.OneQGates != 2 || p.TwoQGates != 1 {
+		t.Errorf("gate counts = %d/%d", p.OneQGates, p.TwoQGates)
+	}
+}
+
+func wantSyntaxError(t *testing.T, src, substr string, line int) {
+	t.Helper()
+	_, err := Parse("bad", src)
+	if err == nil {
+		t.Fatalf("accepted, want error containing %q", substr)
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		// Lowering errors (circuit validation) are not SyntaxErrors.
+		if !strings.Contains(err.Error(), substr) {
+			t.Fatalf("err = %v, want %q", err, substr)
+		}
+		return
+	}
+	if !strings.Contains(se.Msg, substr) {
+		t.Fatalf("err = %v, want %q", se, substr)
+	}
+	if line > 0 && se.Line != line {
+		t.Errorf("error line = %d, want %d", se.Line, line)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	wantSyntaxError(t, "qreg q[4];\ncz q[0], q[1];\n", "OPENQASM", 0)
+	wantSyntaxError(t, "OPENQASM 2.0;\ncz q[0], q[1];\n", "before qreg", 2)
+	wantSyntaxError(t, "OPENQASM 2.0;\n", "missing qreg", 0)
+	wantSyntaxError(t, header+"cz q[0], q[9];\n", "out of range", 4)
+	wantSyntaxError(t, header+"cz q[1], q[1];\n", "identical", 4)
+	wantSyntaxError(t, header+"frobnicate q[0];\n", "unsupported", 4)
+	wantSyntaxError(t, header+"cz q[0];\n", "1 operands", 0)
+	wantSyntaxError(t, header+"h q[0], q[1];\n", "2 operands", 0)
+	wantSyntaxError(t, header+"cz r[0], q[1];\n", "unknown register", 0)
+	wantSyntaxError(t, header+"rz q[0];\n", "parameter", 0)
+	wantSyntaxError(t, header+"rz(0.5 q[0];\n", "unterminated", 0)
+	wantSyntaxError(t, header+"rz() q[0];\n", "empty parameter", 0)
+	wantSyntaxError(t, header+"h q[x];\n", "bad qubit index", 0)
+	wantSyntaxError(t, header+"h q0;\n", "malformed operand", 0)
+	wantSyntaxError(t, header+"qreg r[2];\n", "multiple qreg", 0)
+	wantSyntaxError(t, "OPENQASM 2.0;\nqreg q[0];\n", "bad register size", 2)
+	wantSyntaxError(t, "OPENQASM 2.0;\nqreg [4];\n", "missing register name", 2)
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	e := &SyntaxError{Line: 7, Msg: "boom"}
+	if got := e.Error(); got != "qasm: line 7: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// TestRoundTrip: Write then Parse reconstructs the same block structure
+// and CZ gates.
+func TestRoundTrip(t *testing.T) {
+	orig := circuit.New("rt", 5)
+	orig.AddBlock(5, circuit.NewCZ(0, 1), circuit.NewCZ(2, 3))
+	orig.AddBlock(2, circuit.NewCZ(1, 2))
+	orig.AddBlock(3)
+
+	src := Write(orig)
+	back, err := Parse("rt", src)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if back.Qubits != orig.Qubits {
+		t.Fatalf("qubits = %d, want %d", back.Qubits, orig.Qubits)
+	}
+	if len(back.Circuit.Blocks) != len(orig.Blocks) {
+		t.Fatalf("%d blocks, want %d", len(back.Circuit.Blocks), len(orig.Blocks))
+	}
+	for bi := range orig.Blocks {
+		ob, nb := orig.Blocks[bi], back.Circuit.Blocks[bi]
+		if ob.OneQ != nb.OneQ {
+			t.Errorf("block %d: OneQ %d, want %d", bi, nb.OneQ, ob.OneQ)
+		}
+		if len(ob.Gates) != len(nb.Gates) {
+			t.Fatalf("block %d: %d gates, want %d", bi, len(nb.Gates), len(ob.Gates))
+		}
+		for gi := range ob.Gates {
+			if ob.Gates[gi] != nb.Gates[gi] {
+				t.Errorf("block %d gate %d: %v, want %v", bi, gi, nb.Gates[gi], ob.Gates[gi])
+			}
+		}
+	}
+}
+
+func TestWriteHeader(t *testing.T) {
+	c := circuit.New("hdr", 3)
+	c.AddBlock(1, circuit.NewCZ(0, 2))
+	out := Write(c)
+	for _, piece := range []string{"OPENQASM 2.0;", "qreg q[3];", "cz q[0], q[2];", "// hdr"} {
+		if !strings.Contains(out, piece) {
+			t.Errorf("Write output missing %q:\n%s", piece, out)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Serialization of the compiler IR back to OpenQASM 2.0.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"powermove/internal/circuit"
+)
+
+// Write renders a circuit as OpenQASM 2.0 source. The IR does not record
+// which qubits the single-qubit layers act on (scheduling does not depend
+// on it), so each layer is emitted as rz placeholders on qubits
+// 0, 1, ... cycling through the register; the CZ structure — the part the
+// compiler schedules — round-trips exactly. Blocks are separated by
+// barriers so a re-parse reconstructs the same block boundaries.
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s\n", c.Name)
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.Qubits)
+	for bi, blk := range c.Blocks {
+		if bi > 0 {
+			b.WriteString("barrier q;\n")
+		}
+		for i := 0; i < blk.OneQ; i++ {
+			fmt.Fprintf(&b, "rz(0) q[%d];\n", i%c.Qubits)
+		}
+		for _, g := range blk.Gates {
+			fmt.Fprintf(&b, "cz q[%d], q[%d];\n", g.A, g.B)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, the output formats of cmd/experiments. It has no knowledge of the
+// experiments themselves; it formats rows of strings.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rectangular grid of cells with a header row and a title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row. The cell count must match the header count;
+// AddRow panics otherwise, because a ragged table is always a programming
+// error in the caller.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned monospace text. Columns are sized to
+// their widest cell; a rule separates the header from the body.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing padding of the last column.
+		for b.Len() > 0 && b.String()[b.Len()-1] == ' ' {
+			s := b.String()
+			b.Reset()
+			b.WriteString(strings.TrimRight(s, " "))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-style CSV: cells containing commas,
+// quotes, or newlines are quoted with doubled inner quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(escapeCSV(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func escapeCSV(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+}
+
+// Fixed formats v with prec decimal places.
+func Fixed(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Sci formats v compactly: fixed-point with two decimals for values in
+// [0.01, 10000), scientific notation otherwise. It mirrors the mixed
+// formatting of the paper's Table 3.
+func Sci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	if av := abs(v); av >= 0.01 && av < 10000 {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+// Ratio formats a ratio as "12.34x"; ratios at or above 1000 switch to
+// scientific notation, matching the paper's improvement columns.
+func Ratio(v float64) string {
+	if abs(v) >= 1000 {
+		return fmt.Sprintf("%.2ex", v)
+	}
+	return fmt.Sprintf("%.2fx", v)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "Value")
+	tbl.AddRow("a", "1")
+	tbl.AddRow("longer-name", "2.5")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("%d lines, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// "Value" must start at the same column in the header and each row.
+	col := strings.Index(lines[1], "Value")
+	if col < 0 {
+		t.Fatal("header missing Value")
+	}
+	if lines[3][col] != '1' || lines[4][col] != '2' {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule line = %q", lines[2])
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x")
+	if strings.HasPrefix(tbl.Render(), "\n") {
+		t.Error("empty title produced leading newline")
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	tbl := NewTable("t", "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged row did not panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := NewTable("t", "A", "B")
+	tbl.AddRow(`plain`, `with,comma`)
+	tbl.AddRow(`with"quote`, "with\nnewline")
+	got := tbl.CSV()
+	want := "A,B\nplain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Fixed(3.14159, 2), "3.14"},
+		{Fixed(2, 0), "2"},
+		{Sci(0), "0"},
+		{Sci(0.5), "0.50"},
+		{Sci(1234.5), "1234.50"},
+		{Sci(0.0001), "1.00e-04"},
+		{Sci(123456), "1.23e+05"},
+		{Sci(-0.002), "-2.00e-03"},
+		{Ratio(2.5), "2.50x"},
+		{Ratio(1090.36), "1.09e+03x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("formatted %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package router implements the Continuous Router of Sec. 5 of the paper.
+// Given the current qubit layout and the next Rydberg stage, it decides the
+// single-qubit movements that realize every CZ pair of the stage and the
+// required inter-zone traffic, transitioning the layout *directly* into the
+// next stage's configuration instead of reverting to a fixed initial layout
+// the way prior compilers do.
+//
+// The decision follows the three steps of Sec. 5.2:
+//
+//  1. Non-interacting qubits in the computation zone are sent down to the
+//     nearest empty storage site (zoned mode only), farthest-from-storage
+//     qubits choosing first.
+//  2. Interacting qubits are labeled static, mobile, or undecided by a
+//     case analysis on the zones of each CZ pair (Fig. 4).
+//  3. Every undecided qubit is assigned the nearest empty computation-zone
+//     site, and its mobile partner follows it there.
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"powermove/internal/arch"
+	"powermove/internal/layout"
+	"powermove/internal/move"
+	"powermove/internal/stage"
+)
+
+// label is the per-qubit movement role of Sec. 5.2 step 2.
+type label int
+
+const (
+	unlabeled label = iota
+	static
+	mobile
+	undecided
+)
+
+// departed is the per-qubit sentinel for "destination not yet chosen".
+const departed = -1
+
+// planner tracks the planned post-transition occupancy while movement
+// decisions are being made. Qubits start planned at their current sites;
+// deciding that a qubit moves removes it from its origin immediately (even
+// before its destination is known), and commits it to its destination once
+// chosen. All state lives in flat slices indexed by qubit or by
+// arch.SiteIndex; the planner runs once per Rydberg stage and is on the
+// compiler's hot path.
+type planner struct {
+	l      *layout.Layout
+	occ    [][]int // site index -> planned occupants
+	target []int   // qubit -> planned site index, or departed
+	label  []label
+	inter  []bool // interacting qubits of the stage
+}
+
+func newPlanner(l *layout.Layout, interacting []bool) *planner {
+	n := l.Qubits()
+	p := &planner{
+		l:      l,
+		occ:    make([][]int, l.Arch().TotalSites()),
+		target: make([]int, n),
+		label:  make([]label, n),
+		inter:  interacting,
+	}
+	for q := 0; q < n; q++ {
+		idx := l.Arch().SiteIndex(l.SiteOf(q))
+		p.occ[idx] = append(p.occ[idx], q)
+		p.target[q] = idx
+	}
+	return p
+}
+
+// depart removes q from its planned site without assigning a destination.
+func (p *planner) depart(q int) {
+	idx := p.target[q]
+	if idx == departed {
+		return
+	}
+	residents := p.occ[idx]
+	for i, r := range residents {
+		if r == q {
+			p.occ[idx] = append(residents[:i], residents[i+1:]...)
+			break
+		}
+	}
+	p.target[q] = departed
+}
+
+// commit assigns destination s to qubit q, departing it first if needed.
+func (p *planner) commit(q int, s arch.Site) {
+	if p.target[q] != departed {
+		p.depart(q)
+	}
+	idx := p.l.Arch().SiteIndex(s)
+	p.occ[idx] = append(p.occ[idx], q)
+	p.target[q] = idx
+}
+
+// blocked reports whether the site of qubit q holds, besides q itself, a
+// resident that is certain to remain there: a qubit already labeled
+// static, or a non-interacting qubit that is not scheduled to move away.
+// Such a resident forces q to the undecided label (Fig. 4c case 2,
+// Fig. 4d case 2), because the pair converging on this site would cluster.
+func (p *planner) blocked(q int) bool {
+	for _, r := range p.occ[p.l.Arch().SiteIndex(p.l.SiteOf(q))] {
+		if r == q {
+			continue
+		}
+		if p.label[r] == static {
+			return true
+		}
+		if !p.inter[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestEmpty returns the closest planned-empty site of zone z to qubit
+// q's current position, breaking distance ties by row then column (the
+// row-major order of arch.Sites).
+func (p *planner) nearestEmpty(z arch.Zone, q int) (arch.Site, bool) {
+	a := p.l.Arch()
+	from := p.l.PosOf(q)
+	var best arch.Site
+	bestDist := 0.0
+	found := false
+	for _, s := range a.Sites(z) {
+		if len(p.occ[a.SiteIndex(s)]) > 0 {
+			continue
+		}
+		d := a.Pos(s).Dist(from)
+		if !found || d < bestDist {
+			best, bestDist, found = s, d, true
+		}
+	}
+	return best, found
+}
+
+// Route decides and applies the layout transition for the next stage. It
+// returns the 1Q movements (one per qubit that changes site) and mutates l
+// into the post-transition layout. When useStorage is false the router
+// runs in computation-zone-only mode: step 1 is skipped and non-interacting
+// qubits remain in place, as in the paper's non-storage evaluation column.
+//
+// For pairs that are both in the computation zone (Sec. 5.2 case 4), one
+// qubit must be chosen as the mover. The paper chooses randomly; passing a
+// non-nil rng reproduces that behaviour. Passing a nil rng selects the
+// deterministic lower-index convention instead, which aligns the
+// displacement directions of a stage's movements and lets the Coll-Move
+// grouping pack them far more densely (see BenchmarkAblationMoverChoice);
+// it is the default of the full pipeline.
+func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([]move.Move, error) {
+	if !st.Disjoint() {
+		return nil, fmt.Errorf("router: stage gates are not qubit-disjoint")
+	}
+	interacting := make([]bool, l.Qubits())
+	for _, g := range st.Gates {
+		if g.B >= l.Qubits() {
+			return nil, fmt.Errorf("router: gate qubit %d outside layout of %d qubits", g.B, l.Qubits())
+		}
+		interacting[g.A] = true
+		interacting[g.B] = true
+	}
+	p := newPlanner(l, interacting)
+
+	if useStorage {
+		if err := p.parkNonInteracting(); err != nil {
+			return nil, err
+		}
+	} else if err := p.separateStalePairs(); err != nil {
+		return nil, err
+	}
+
+	// Step 2: label interacting qubits gate by gate.
+	type pending struct{ undecidedQ, follower int }
+	var waiting []pending
+	for _, g := range st.Gates {
+		qi, qj := g.A, g.B
+		si, sj := l.SiteOf(qi), l.SiteOf(qj)
+		if si == sj {
+			if si.Zone == arch.Compute {
+				// Already co-located at a computation site: both stay.
+				p.label[qi], p.label[qj] = static, static
+				continue
+			}
+			// Co-located in storage: the pair must surface to the
+			// computation zone; fall through to the both-in-storage case.
+		}
+		zi, zj := si.Zone, sj.Zone
+		switch {
+		case zi == arch.Storage && zj == arch.Storage:
+			// Case 1: interaction site chosen in step 3.
+			p.label[qj] = undecided
+			p.label[qi] = mobile
+			p.depart(qj)
+			p.depart(qi)
+			waiting = append(waiting, pending{undecidedQ: qj, follower: qi})
+		case zi == arch.Storage || zj == arch.Storage:
+			// Cases 2 and 3 (symmetric): the storage qubit always moves out.
+			storageQ, computeQ := qi, qj
+			if zj == arch.Storage {
+				storageQ, computeQ = qj, qi
+			}
+			p.label[storageQ] = mobile
+			p.depart(storageQ)
+			if p.blocked(computeQ) {
+				p.label[computeQ] = undecided
+				p.depart(computeQ)
+				waiting = append(waiting, pending{undecidedQ: computeQ, follower: storageQ})
+			} else {
+				p.label[computeQ] = static
+				p.commit(storageQ, l.SiteOf(computeQ))
+			}
+		default:
+			// Case 4: both in the computation zone; one becomes mobile
+			// (randomly with an rng, lower-index otherwise).
+			mob, other := qi, qj
+			if rng != nil && rng.Intn(2) == 1 {
+				mob, other = qj, qi
+			}
+			p.label[mob] = mobile
+			p.depart(mob)
+			if p.blocked(other) {
+				p.label[other] = undecided
+				p.depart(other)
+				waiting = append(waiting, pending{undecidedQ: other, follower: mob})
+			} else {
+				p.label[other] = static
+				p.commit(mob, l.SiteOf(other))
+			}
+		}
+	}
+
+	// Step 3: place undecided qubits on the nearest empty computation
+	// site; their partners follow.
+	for _, w := range waiting {
+		s, ok := p.nearestEmpty(arch.Compute, w.undecidedQ)
+		if !ok {
+			return nil, fmt.Errorf("router: no empty computation site for qubit %d", w.undecidedQ)
+		}
+		p.commit(w.undecidedQ, s)
+		p.commit(w.follower, s)
+	}
+
+	return p.finish()
+}
+
+// parkNonInteracting implements step 1: every non-interacting qubit in the
+// computation zone moves vertically down into storage, processed in
+// descending order of y coordinate so qubits farther from the storage zone
+// choose their sites first.
+func (p *planner) parkNonInteracting() error {
+	var parked []int
+	for q := 0; q < p.l.Qubits(); q++ {
+		if !p.inter[q] && p.l.Zone(q) == arch.Compute {
+			parked = append(parked, q)
+		}
+	}
+	sort.SliceStable(parked, func(i, j int) bool {
+		yi, yj := p.l.PosOf(parked[i]).Y, p.l.PosOf(parked[j]).Y
+		if yi != yj {
+			return yi > yj
+		}
+		return parked[i] < parked[j]
+	})
+	for _, q := range parked {
+		p.label[q] = mobile
+		p.depart(q)
+		s, ok := p.nearestEmpty(arch.Storage, q)
+		if !ok {
+			return fmt.Errorf("router: storage zone full, cannot park qubit %d", q)
+		}
+		p.commit(q, s)
+	}
+	return nil
+}
+
+// separateStalePairs handles the computation-zone-only counterpart of
+// step 1. Without a storage zone, non-interacting qubits stay in place —
+// but a pair co-located by the *previous* stage whose qubits are both idle
+// in the next stage would remain clustered within the Rydberg radius and
+// trigger an unwanted interaction at the next pulse. One qubit of every
+// such stale pair (the higher-indexed one, for determinism) is relocated
+// to the nearest empty computation site. Stale pairs with one interacting
+// member need no handling here: the remaining idle resident blocks the
+// site, so step 2 labels the interacting member mobile or undecided and it
+// departs.
+func (p *planner) separateStalePairs() error {
+	for q := 0; q < p.l.Qubits(); q++ {
+		if p.inter[q] {
+			continue
+		}
+		residents := p.l.At(p.l.SiteOf(q))
+		if len(residents) != 2 {
+			continue
+		}
+		other := residents[0]
+		if other == q {
+			other = residents[1]
+		}
+		if p.inter[other] || q < other {
+			continue
+		}
+		p.depart(q)
+		s, ok := p.nearestEmpty(arch.Compute, q)
+		if !ok {
+			return fmt.Errorf("router: no empty computation site to separate stale pair at qubit %d", q)
+		}
+		p.commit(q, s)
+	}
+	return nil
+}
+
+// finish materializes the plan: it derives the 1Q moves, applies them to
+// the layout, and returns them sorted by qubit for determinism.
+func (p *planner) finish() ([]move.Move, error) {
+	a := p.l.Arch()
+	var moves []move.Move
+	targets := make(map[int]arch.Site)
+	for q := 0; q < p.l.Qubits(); q++ {
+		if p.target[q] == departed {
+			return nil, fmt.Errorf("router: qubit %d left without destination", q)
+		}
+		dest := a.SiteAt(p.target[q])
+		if cur := p.l.SiteOf(q); dest != cur {
+			moves = append(moves, move.New(a, q, cur, dest))
+			targets[q] = dest
+		}
+	}
+	p.l.BulkMove(targets)
+	return moves, nil
+}

@@ -1,0 +1,224 @@
+// Package sim executes compiled programs against the zoned-architecture
+// hardware model and produces the paper's three evaluation metrics:
+// output fidelity (Equation 1), execution time, and the raw event counts
+// behind both. The executor doubles as a validator: it re-checks every
+// hardware constraint independently of the compiler — AOD ordering
+// constraints within each collective move, trap-occupancy rules at every
+// step, and co-location of every scheduled CZ pair at every Rydberg pulse —
+// so a compiler bug that emits an illegal program fails execution instead
+// of silently producing flattering numbers.
+package sim
+
+import (
+	"fmt"
+
+	"powermove/internal/arch"
+	"powermove/internal/fidelity"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
+	"powermove/internal/phys"
+	"powermove/internal/trace"
+)
+
+// Breakdown decomposes execution time by activity, in microseconds.
+type Breakdown struct {
+	OneQ     float64 // parallel single-qubit layers
+	Move     float64 // collective movement
+	Transfer float64 // SLM<->AOD pickup/dropoff intervals
+	Rydberg  float64 // global Rydberg pulses
+}
+
+// Total returns the summed execution time.
+func (b Breakdown) Total() float64 { return b.OneQ + b.Move + b.Transfer + b.Rydberg }
+
+// Result is the outcome of executing one program.
+type Result struct {
+	// Time is the total execution time T_exe in microseconds.
+	Time float64
+	// Breakdown splits Time by activity.
+	Breakdown Breakdown
+	// Counts are the raw fidelity-relevant event counts.
+	Counts fidelity.Counts
+	// Components are the evaluated fidelity factors.
+	Components fidelity.Components
+	// Fidelity is Components.Total(): the paper's headline metric,
+	// excluding the single-qubit term per Sec. 2.2.
+	Fidelity float64
+	// MoveBatches and Stages count executed batches and Rydberg pulses.
+	MoveBatches, Stages int
+	// Final is the layout after the last instruction.
+	Final *layout.Layout
+}
+
+// Execute runs prog starting from the given initial layout. The layout is
+// cloned; the caller's copy is not modified. Execution fails with a
+// descriptive error on the first constraint violation.
+func Execute(prog *isa.Program, initial *layout.Layout) (*Result, error) {
+	return run(prog, initial, nil)
+}
+
+// ExecuteWithTrace runs prog like Execute and additionally records the
+// execution timeline: one trace event per instruction with its start
+// time, duration, and involved qubits.
+func ExecuteWithTrace(prog *isa.Program, initial *layout.Layout) (*Result, *trace.Trace, error) {
+	tr := &trace.Trace{Program: prog.Name, Qubits: prog.Qubits}
+	res, err := run(prog, initial, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+func run(prog *isa.Program, initial *layout.Layout, tr *trace.Trace) (*Result, error) {
+	if prog.Qubits != initial.Qubits() {
+		return nil, fmt.Errorf("sim: program has %d qubits, layout has %d", prog.Qubits, initial.Qubits())
+	}
+	l := initial.Clone()
+	res := &Result{Final: l}
+	res.Counts.IdleTime = make([]float64, l.Qubits())
+
+	for idx, in := range prog.Instr {
+		before := res.Breakdown.Total()
+		var err error
+		var kind trace.Kind
+		var qubits []int
+		switch in := in.(type) {
+		case isa.OneQLayer:
+			err = execOneQ(in, l, res)
+			kind = trace.KindOneQ
+		case isa.MoveBatch:
+			err = execMoveBatch(in, l, res)
+			kind = trace.KindMove
+			if tr != nil {
+				for _, g := range in.Groups {
+					for _, m := range g.Moves {
+						qubits = append(qubits, m.Qubit)
+					}
+				}
+			}
+		case isa.Rydberg:
+			err = execRydberg(in, l, res)
+			kind = trace.KindRydberg
+			if tr != nil {
+				for _, p := range in.Pairs {
+					qubits = append(qubits, p.A, p.B)
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown instruction type %T", in)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: instruction %d (%s): %w", idx, in.Mnemonic(), err)
+		}
+		if tr != nil {
+			tr.Add(trace.Event{
+				Index:    idx,
+				Kind:     kind,
+				Start:    before,
+				Duration: res.Breakdown.Total() - before,
+				Qubits:   qubits,
+				Detail:   in.Mnemonic(),
+			})
+		}
+	}
+
+	res.Components = fidelity.Compute(res.Counts)
+	res.Fidelity = res.Components.Total()
+	res.Time = res.Breakdown.Total()
+	return res, nil
+}
+
+// execOneQ advances time by one parallel Raman layer. Qubits in the
+// computation zone are being driven (or are addressable and idle for only
+// the layer's 1 us), so the layer contributes gate count but no idle time;
+// storage-zone qubits are shielded as always.
+func execOneQ(in isa.OneQLayer, l *layout.Layout, res *Result) error {
+	if in.Count < 0 {
+		return fmt.Errorf("negative 1Q gate count %d", in.Count)
+	}
+	res.Counts.OneQGates += in.Count
+	res.Breakdown.OneQ += phys.DurationOneQubit
+	return nil
+}
+
+// execMoveBatch validates and applies one parallel movement batch.
+func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result) error {
+	if len(in.Groups) == 0 {
+		return fmt.Errorf("empty move batch")
+	}
+	moved := make(map[int]arch.Site)
+	for aod, g := range in.Groups {
+		if !g.Valid() {
+			return fmt.Errorf("AOD %d: conflicting moves within one collective move", aod)
+		}
+		for _, m := range g.Moves {
+			if m.Qubit < 0 || m.Qubit >= l.Qubits() {
+				return fmt.Errorf("AOD %d: move references qubit %d", aod, m.Qubit)
+			}
+			if _, dup := moved[m.Qubit]; dup {
+				return fmt.Errorf("AOD %d: qubit %d moved twice in one batch", aod, m.Qubit)
+			}
+			if got := l.SiteOf(m.Qubit); got != m.FromSite {
+				return fmt.Errorf("AOD %d: qubit %d is at %v, move expects %v", aod, m.Qubit, got, m.FromSite)
+			}
+			if !l.Arch().InBounds(m.ToSite) {
+				return fmt.Errorf("AOD %d: qubit %d target %v out of bounds", aod, m.Qubit, m.ToSite)
+			}
+			moved[m.Qubit] = m.ToSite
+		}
+	}
+
+	dur := in.Duration()
+	// Decoherence: storage-resident qubits that do not move are
+	// shielded for the whole batch; everyone else (movers in transit,
+	// computation-zone residents) idles for the batch duration.
+	for q := 0; q < l.Qubits(); q++ {
+		_, isMoving := moved[q]
+		if !isMoving && l.Zone(q) == arch.Storage {
+			continue
+		}
+		res.Counts.IdleTime[q] += dur
+	}
+
+	l.BulkMove(moved)
+	res.Counts.Transfers += 2 * len(moved)
+	res.Breakdown.Move += dur - 2*phys.DurationTransfer
+	res.Breakdown.Transfer += 2 * phys.DurationTransfer
+	res.MoveBatches++
+	return nil
+}
+
+// execRydberg validates co-location and occupancy, then fires the global
+// pulse: scheduled pairs gain a CZ each, idle computation-zone qubits gain
+// one excitation-error event each, and storage-zone qubits are untouched.
+func execRydberg(in isa.Rydberg, l *layout.Layout, res *Result) error {
+	if len(in.Pairs) == 0 {
+		return fmt.Errorf("Rydberg pulse with no gates")
+	}
+	if err := l.Validate(in.Pairs); err != nil {
+		return err
+	}
+	interacting := make(map[int]bool, 2*len(in.Pairs))
+	for _, g := range in.Pairs {
+		if interacting[g.A] || interacting[g.B] {
+			return fmt.Errorf("qubit reused within stage %d", in.Stage)
+		}
+		interacting[g.A] = true
+		interacting[g.B] = true
+	}
+
+	for q := 0; q < l.Qubits(); q++ {
+		if interacting[q] {
+			continue // being operated on: no idle, no excitation error
+		}
+		if l.Zone(q) == arch.Compute {
+			res.Counts.ExcitedIdle++
+			res.Counts.IdleTime[q] += phys.DurationCZ
+		}
+	}
+	res.Counts.CZGates += len(in.Pairs)
+	res.Counts.Excitations++
+	res.Breakdown.Rydberg += phys.DurationCZ
+	res.Stages++
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package statevec is a dense state-vector simulator for small quantum
+// registers. The compiler never needs it — scheduling is purely
+// combinatorial — but the test suite uses it to prove *semantic*
+// correctness: a compiled program applies exactly the circuit's unitary,
+// because reordering gates within a commutable CZ block (the only liberty
+// the stage scheduler takes) cannot change the state. It is also a useful
+// standalone tool for validating small workloads end to end.
+//
+// The simulator supports the gate set the IR needs: Hadamard, Pauli gates,
+// phase rotations, and CZ. States are vectors of 2^n complex amplitudes;
+// qubit 0 is the least significant bit of the basis index.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// MaxQubits bounds the register size; 2^24 amplitudes (256 MiB of
+// complex128) is already beyond what the test suite exercises.
+const MaxQubits = 24
+
+// State is a normalized quantum state on n qubits.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewZero returns |0...0> on n qubits.
+// It panics if n is out of (0, MaxQubits].
+func NewZero(n int) *State {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("statevec: qubit count %d outside (0, %d]", n, MaxQubits))
+	}
+	amp := make([]complex128, 1<<uint(n))
+	amp[0] = 1
+	return &State{n: n, amp: amp}
+}
+
+// NewRandom returns a Haar-ish random product-free state: amplitudes drawn
+// from independent Gaussians and normalized. Random states make unitary
+// comparisons sensitive to any gate discrepancy.
+func NewRandom(n int, rng *rand.Rand) *State {
+	s := NewZero(n)
+	norm := 0.0
+	for i := range s.amp {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		s.amp[i] = complex(re, im)
+		norm += re*re + im*im
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+	return s
+}
+
+// Qubits returns the register size.
+func (s *State) Qubits() int { return s.n }
+
+// Clone returns an independent copy.
+func (s *State) Clone() *State {
+	return &State{n: s.n, amp: append([]complex128(nil), s.amp...)}
+}
+
+// Amplitude returns the amplitude of basis state idx.
+func (s *State) Amplitude(idx int) complex128 {
+	return s.amp[idx]
+}
+
+// Probability returns |amplitude|^2 of basis state idx.
+func (s *State) Probability(idx int) float64 {
+	return real(s.amp[idx])*real(s.amp[idx]) + imag(s.amp[idx])*imag(s.amp[idx])
+}
+
+// Norm returns the 2-norm of the state (1 for any valid state).
+func (s *State) Norm() float64 {
+	total := 0.0
+	for _, a := range s.amp {
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(total)
+}
+
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d outside register of %d", q, s.n))
+	}
+}
+
+// H applies a Hadamard to qubit q.
+func (s *State) H(q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	inv := complex(1/math.Sqrt2, 0)
+	for i := range s.amp {
+		if i&bit == 0 {
+			a, b := s.amp[i], s.amp[i|bit]
+			s.amp[i] = inv * (a + b)
+			s.amp[i|bit] = inv * (a - b)
+		}
+	}
+}
+
+// X applies a Pauli-X (NOT) to qubit q.
+func (s *State) X(q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for i := range s.amp {
+		if i&bit == 0 {
+			s.amp[i], s.amp[i|bit] = s.amp[i|bit], s.amp[i]
+		}
+	}
+}
+
+// Z applies a Pauli-Z to qubit q.
+func (s *State) Z(q int) {
+	s.RZ(q, math.Pi)
+}
+
+// RZ applies a phase rotation diag(1, e^{i*theta}) to qubit q.
+func (s *State) RZ(q int, theta float64) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	phase := cmplx.Exp(complex(0, theta))
+	for i := range s.amp {
+		if i&bit != 0 {
+			s.amp[i] *= phase
+		}
+	}
+}
+
+// CZ applies a controlled-Z between qubits a and b.
+// It panics if a == b.
+func (s *State) CZ(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		panic(fmt.Sprintf("statevec: CZ on identical qubit %d", a))
+	}
+	mask := 1<<uint(a) | 1<<uint(b)
+	for i := range s.amp {
+		if i&mask == mask {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// CX applies a controlled-X with control c and target t, via the
+// H-CZ-H identity the hardware compiles it to.
+func (s *State) CX(c, t int) {
+	s.H(t)
+	s.CZ(c, t)
+	s.H(t)
+}
+
+// InnerProduct returns <s|o>.
+// It panics on register-size mismatch.
+func (s *State) InnerProduct(o *State) complex128 {
+	if s.n != o.n {
+		panic(fmt.Sprintf("statevec: register sizes %d and %d differ", s.n, o.n))
+	}
+	var total complex128
+	for i := range s.amp {
+		total += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return total
+}
+
+// Fidelity returns |<s|o>|^2, the overlap probability of the two states.
+func (s *State) Fidelity(o *State) float64 {
+	ip := s.InnerProduct(o)
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// Equal reports whether the states coincide up to tolerance tol in the
+// max-norm of the amplitude difference (global phase NOT factored out;
+// the gate set here is deterministic about phases).
+func (s *State) Equal(o *State, tol float64) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.amp {
+		if cmplx.Abs(s.amp[i]-o.amp[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

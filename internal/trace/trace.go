@@ -1,0 +1,151 @@
+// Package trace records the timeline of a simulated execution: one event
+// per instruction with its start time, duration, and the qubits involved.
+// Traces serialize to JSON for external tooling and render as an ASCII
+// Gantt chart for quick inspection (cmd/powermove -trace).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an event by the instruction that produced it.
+type Kind string
+
+// The event kinds, one per instruction type.
+const (
+	KindOneQ    Kind = "1q-layer"
+	KindMove    Kind = "move-batch"
+	KindRydberg Kind = "rydberg"
+)
+
+// Event is one instruction's execution window.
+type Event struct {
+	// Index is the instruction index in the program.
+	Index int `json:"index"`
+	// Kind classifies the instruction.
+	Kind Kind `json:"kind"`
+	// Start and Duration are in microseconds from program start.
+	Start    float64 `json:"start_us"`
+	Duration float64 `json:"duration_us"`
+	// Qubits are the qubits the instruction operates on (moved qubits
+	// for a batch, interacting qubits for a pulse, empty for a 1Q
+	// layer, which addresses the whole plane).
+	Qubits []int `json:"qubits,omitempty"`
+	// Detail is a short human-readable annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// End returns the event's end time in microseconds.
+func (e Event) End() float64 { return e.Start + e.Duration }
+
+// Trace is the full timeline of one execution.
+type Trace struct {
+	// Program and Qubits echo the executed program's identity.
+	Program string `json:"program"`
+	Qubits  int    `json:"qubits"`
+	// Events are in execution order.
+	Events []Event `json:"events"`
+}
+
+// Add appends an event; the executor calls it once per instruction.
+func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// Span returns the total timeline length in microseconds.
+func (t *Trace) Span() float64 {
+	end := 0.0
+	for _, e := range t.Events {
+		if e.End() > end {
+			end = e.End()
+		}
+	}
+	return end
+}
+
+// JSON serializes the trace with indentation.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// ParseJSON inverts JSON.
+func ParseJSON(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}
+
+// ByKind returns the summed duration per event kind.
+func (t *Trace) ByKind() map[Kind]float64 {
+	out := make(map[Kind]float64)
+	for _, e := range t.Events {
+		out[e.Kind] += e.Duration
+	}
+	return out
+}
+
+// Gantt renders the timeline as an ASCII chart with one row per event
+// kind, width columns wide. Each cell shows whether an event of that kind
+// is active in the corresponding time slice ('#') or not ('.'); the time
+// axis is annotated in microseconds.
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := t.Span()
+	if span == 0 {
+		return "(empty trace)\n"
+	}
+	kinds := []Kind{KindOneQ, KindMove, KindRydberg}
+	rows := make(map[Kind][]byte, len(kinds))
+	for _, k := range kinds {
+		rows[k] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range t.Events {
+		row, ok := rows[e.Kind]
+		if !ok {
+			continue
+		}
+		lo := int(e.Start / span * float64(width))
+		hi := int(e.End() / span * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			row[i] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d qubits, %d events, %.1f us\n", t.Program, t.Qubits, len(t.Events), span)
+	label := map[Kind]string{KindOneQ: "1q     ", KindMove: "move   ", KindRydberg: "rydberg"}
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%s |%s|\n", label[k], rows[k])
+	}
+	fmt.Fprintf(&b, "        0%sus %.1f\n", strings.Repeat(" ", width-len(fmt.Sprintf("us %.1f", span))), span)
+	return b.String()
+}
+
+// Busiest returns the qubits sorted by total event participation time,
+// most-involved first. Useful for spotting routing hotspots.
+func (t *Trace) Busiest() []int {
+	total := make(map[int]float64)
+	for _, e := range t.Events {
+		for _, q := range e.Qubits {
+			total[q] += e.Duration
+		}
+	}
+	out := make([]int, 0, len(total))
+	for q := range total {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if total[out[i]] != total[out[j]] {
+			return total[out[i]] > total[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

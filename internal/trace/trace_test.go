@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := &Trace{Program: "demo", Qubits: 4}
+	t.Add(Event{Index: 0, Kind: KindOneQ, Start: 0, Duration: 1})
+	t.Add(Event{Index: 1, Kind: KindMove, Start: 1, Duration: 100, Qubits: []int{0, 1}})
+	t.Add(Event{Index: 2, Kind: KindRydberg, Start: 101, Duration: 0.27, Qubits: []int{0, 1}})
+	t.Add(Event{Index: 3, Kind: KindMove, Start: 101.27, Duration: 50, Qubits: []int{1}})
+	return t
+}
+
+func TestSpan(t *testing.T) {
+	tr := sample()
+	if got := tr.Span(); math.Abs(got-151.27) > 1e-9 {
+		t.Errorf("Span = %v, want 151.27", got)
+	}
+	if got := (&Trace{}).Span(); got != 0 {
+		t.Errorf("empty span = %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sample()
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != tr.Program || back.Qubits != tr.Qubits || len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i := range tr.Events {
+		if back.Events[i].Kind != tr.Events[i].Kind || back.Events[i].Start != tr.Events[i].Start {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if _, err := ParseJSON([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestByKind(t *testing.T) {
+	totals := sample().ByKind()
+	if totals[KindMove] != 150 {
+		t.Errorf("move total = %v, want 150", totals[KindMove])
+	}
+	if totals[KindOneQ] != 1 {
+		t.Errorf("1q total = %v, want 1", totals[KindOneQ])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	out := sample().Gantt(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, three rows, axis
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "demo") || !strings.Contains(lines[0], "151.3 us") {
+		t.Errorf("header = %q", lines[0])
+	}
+	moveRow := lines[2]
+	if !strings.Contains(moveRow, "#") {
+		t.Errorf("move row has no activity: %q", moveRow)
+	}
+	// The 1q layer is a sliver at t=0: its cell is the first column.
+	oneQRow := lines[1]
+	if !strings.Contains(oneQRow, "#") {
+		t.Errorf("1q row has no activity: %q", oneQRow)
+	}
+	if got := (&Trace{}).Gantt(40); got != "(empty trace)\n" {
+		t.Errorf("empty gantt = %q", got)
+	}
+	// Tiny widths are clamped rather than crashing.
+	if out := sample().Gantt(1); !strings.Contains(out, "|") {
+		t.Error("clamped width render failed")
+	}
+}
+
+func TestBusiest(t *testing.T) {
+	got := sample().Busiest()
+	if len(got) != 2 {
+		t.Fatalf("Busiest = %v, want 2 qubits", got)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("Busiest = %v, want [1 0] (qubit 1 in both moves)", got)
+	}
+}

@@ -1,0 +1,73 @@
+// Package viz renders qubit layouts as ASCII grids for debugging and for
+// the CLI's -layouts flag. The computation zone is drawn on top (rows
+// descending), then the inter-zone gap, then the storage zone, matching
+// the physical geometry of the zoned architecture.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"powermove/internal/arch"
+	"powermove/internal/layout"
+)
+
+// Layout renders the occupancy of every site:
+//
+//	.     empty site
+//	o     one qubit
+//	8     two qubits (an interacting pair)
+//
+// Each zone is labeled, rows are annotated with their index, and a legend
+// listing qubit positions follows when the register is small enough to
+// keep it readable.
+func Layout(l *layout.Layout) string {
+	var b strings.Builder
+	a := l.Arch()
+	b.WriteString("computation zone\n")
+	writeZone(&b, l, arch.Compute, a.ComputeRows, a.ComputeCols)
+	b.WriteString(strings.Repeat("~", a.StorageCols*2+4))
+	b.WriteString("  (30 um gap)\n")
+	b.WriteString("storage zone\n")
+	writeZone(&b, l, arch.Storage, a.StorageRows, a.StorageCols)
+	if l.Qubits() <= 30 {
+		b.WriteString(legend(l))
+	}
+	return b.String()
+}
+
+func writeZone(b *strings.Builder, l *layout.Layout, z arch.Zone, rows, cols int) {
+	for r := rows - 1; r >= 0; r-- {
+		fmt.Fprintf(b, "%3d ", r)
+		for c := 0; c < cols; c++ {
+			switch l.Occupancy(arch.Site{Zone: z, Row: r, Col: c}) {
+			case 0:
+				b.WriteString(". ")
+			case 1:
+				b.WriteString("o ")
+			default:
+				b.WriteString("8 ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func legend(l *layout.Layout) string {
+	var b strings.Builder
+	b.WriteString("qubits: ")
+	for q := 0; q < l.Qubits(); q++ {
+		if q > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "q%d@%v", q, l.SiteOf(q))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Occupancy summarizes zone populations in one line, for progress logs.
+func Occupancy(l *layout.Layout) string {
+	return fmt.Sprintf("compute: %d qubits, storage: %d qubits",
+		len(l.InZone(arch.Compute)), len(l.InZone(arch.Storage)))
+}

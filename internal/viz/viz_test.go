@@ -1,0 +1,57 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"powermove/internal/arch"
+	"powermove/internal/layout"
+)
+
+func TestLayoutRendering(t *testing.T) {
+	a := arch.New(arch.Config{Qubits: 4}) // 2x2 compute, 4x2 storage
+	l := layout.New(a, 3)
+	l.Place(0, arch.Site{Zone: arch.Compute, Row: 0, Col: 0})
+	l.Place(1, arch.Site{Zone: arch.Compute, Row: 0, Col: 0}) // pair with 0
+	l.Place(2, arch.Site{Zone: arch.Storage, Row: 3, Col: 1})
+
+	out := Layout(l)
+	if !strings.Contains(out, "computation zone") || !strings.Contains(out, "storage zone") {
+		t.Fatalf("zone headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "8") {
+		t.Errorf("pair marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Errorf("single marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "q2@storage[3,1]") {
+		t.Errorf("legend missing qubit 2:\n%s", out)
+	}
+	// Compute rows are drawn top-down: row 1 line precedes row 0 line.
+	r1 := strings.Index(out, "  1 ")
+	r0 := strings.Index(out, "  0 ")
+	if r1 < 0 || r0 < 0 || r1 > r0 {
+		t.Errorf("rows not rendered descending:\n%s", out)
+	}
+}
+
+func TestLegendSuppressedForLargeRegisters(t *testing.T) {
+	a := arch.New(arch.Config{Qubits: 64})
+	l := layout.New(a, 64)
+	l.PlaceAll(arch.Storage)
+	out := Layout(l)
+	if strings.Contains(out, "q0@") {
+		t.Error("legend rendered for a 64-qubit register")
+	}
+}
+
+func TestOccupancySummary(t *testing.T) {
+	a := arch.New(arch.Config{Qubits: 4})
+	l := layout.New(a, 4)
+	l.PlaceAll(arch.Compute)
+	l.Move(3, arch.Site{Zone: arch.Storage, Row: 0, Col: 0})
+	if got := Occupancy(l); got != "compute: 3 qubits, storage: 1 qubits" {
+		t.Errorf("Occupancy = %q", got)
+	}
+}

@@ -1,0 +1,187 @@
+// Package workload generates the benchmark circuits of Sec. 7.1 of the
+// paper, in the synthesized 1Q-layer / CZ-block form of internal/circuit:
+//
+//   - QAOA on random 3- and 4-regular graphs, and on G(n, 0.5) random
+//     graphs: one commutable ZZ block per QAOA layer.
+//   - QFT: one commutable controlled-phase block per target qubit; all
+//     gates of a block share that qubit, so every stage holds one gate —
+//     the structure responsible for QFT's many Rydberg excitations.
+//   - Bernstein-Vazirani with a balanced random secret: every CZ touches
+//     the ancilla.
+//   - VQE with a hardware-efficient ansatz: repetitions of a rotation
+//     layer followed by a linear-entanglement CZ chain.
+//   - QSim: random Pauli strings (probability 0.3 of a non-identity
+//     factor per qubit), each compiled to a down-ladder block and an
+//     up-ladder block of entangling gates.
+//
+// All generators take an explicit seed, so every benchmark instance is
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powermove/internal/circuit"
+	"powermove/internal/graphutil"
+)
+
+// QAOARegular returns a depth-1 QAOA circuit for MaxCut on a random
+// d-regular graph with n vertices: an initial Hadamard layer, one
+// commutable ZZ block with one CZ per graph edge, and the mixer layer.
+func QAOARegular(n, d int, seed int64) *circuit.Circuit {
+	return QAOARegularP(n, d, 1, seed)
+}
+
+// QAOARegularP generalizes QAOARegular to depth p: each QAOA layer
+// contributes one commutable ZZ block over the graph's edges followed by
+// a mixer layer of single-qubit rotations. Successive ZZ blocks repeat
+// the same gate pairs, but the intervening mixers make them dependent, so
+// each is a separate block. It panics if p is not positive.
+func QAOARegularP(n, d, p int, seed int64) *circuit.Circuit {
+	if p <= 0 {
+		panic(fmt.Sprintf("workload: non-positive QAOA depth %d", p))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graphutil.RandomRegular(n, d, rng)
+	name := fmt.Sprintf("QAOA-regular%d-%d", d, n)
+	if p > 1 {
+		name = fmt.Sprintf("%s-p%d", name, p)
+	}
+	c := circuit.New(name, n)
+	gates := edgesToGates(g)
+	for layer := 0; layer < p; layer++ {
+		c.AddBlock(n, gates...)
+	}
+	c.AddBlock(n) // final mixer layer
+	return c
+}
+
+// QAOARandom returns a depth-1 QAOA circuit on an Erdos-Renyi G(n, 0.5)
+// graph: ZZ gates between each qubit pair with 50% probability (Sec. 7.1).
+func QAOARandom(n int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	g := graphutil.RandomGNP(n, 0.5, rng)
+	c := circuit.New(fmt.Sprintf("QAOA-random-%d", n), n)
+	c.AddBlock(n, edgesToGates(g)...)
+	c.AddBlock(n)
+	return c
+}
+
+// QFT returns the n-qubit quantum Fourier transform. For each qubit k the
+// circuit applies a Hadamard followed by the controlled-phase gates
+// CP(k, j) for all j > k; the phases are diagonal and commute, forming one
+// CZ block per k, but they all share qubit k and therefore serialize into
+// single-gate stages.
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("QFT-%d", n), n)
+	for k := 0; k < n; k++ {
+		gates := make([]circuit.CZ, 0, n-k-1)
+		for j := k + 1; j < n; j++ {
+			gates = append(gates, circuit.NewCZ(k, j))
+		}
+		c.AddBlock(1, gates...) // the Hadamard on qubit k
+	}
+	return c
+}
+
+// BV returns a Bernstein-Vazirani circuit on n qubits: n-1 data qubits, an
+// ancilla (qubit n-1), and a random secret string with an even split of
+// zeros and ones (Sec. 7.1). Each secret 1-bit contributes one CZ between
+// its data qubit and the ancilla; the shared ancilla serializes the block
+// into single-gate stages.
+func BV(n int, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: BV needs at least 2 qubits, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := n - 1
+	ones := data / 2
+	secret := make([]bool, data)
+	for _, i := range rng.Perm(data)[:ones] {
+		secret[i] = true
+	}
+	c := circuit.New(fmt.Sprintf("BV-%d", n), n)
+	var gates []circuit.CZ
+	for i, bit := range secret {
+		if bit {
+			gates = append(gates, circuit.NewCZ(i, n-1))
+		}
+	}
+	c.AddBlock(n, gates...) // initial Hadamard layer on all qubits
+	c.AddBlock(n)           // final Hadamard layer
+	return c
+}
+
+// VQEReps is the number of ansatz repetitions in the VQE benchmark. Two
+// repetitions of the linear-entanglement ansatz reproduce the paper's
+// reported gate counts (about 2(n-1) CZ gates).
+const VQEReps = 2
+
+// VQE returns a hardware-efficient VQE ansatz on n qubits: VQEReps
+// repetitions of a full single-qubit rotation layer followed by a chain of
+// CZ gates on neighboring qubits, plus a final rotation layer.
+func VQE(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("VQE-%d", n), n)
+	for r := 0; r < VQEReps; r++ {
+		gates := make([]circuit.CZ, 0, n-1)
+		for i := 0; i+1 < n; i++ {
+			gates = append(gates, circuit.NewCZ(i, i+1))
+		}
+		c.AddBlock(n, gates...)
+	}
+	c.AddBlock(n)
+	return c
+}
+
+// QSimStrings is the number of random Pauli strings per QSim circuit
+// (Sec. 7.1: ten Pauli strings per circuit).
+const QSimStrings = 10
+
+// QSimProb is the per-qubit probability of a non-identity Pauli factor.
+const QSimProb = 0.3
+
+// QSim returns a random quantum-simulation circuit: QSimStrings Pauli
+// strings, each with probability QSimProb of acting on any given qubit.
+// The exponential of a weight-k string compiles to a basis-change 1Q
+// layer, a (k-1)-gate entangling down-ladder, the rotation, and the
+// mirrored up-ladder; the two ladders form separate dependent CZ blocks.
+func QSim(n int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(fmt.Sprintf("QSIM-rand-%d", n), n)
+	for s := 0; s < QSimStrings; s++ {
+		var support []int
+		for q := 0; q < n; q++ {
+			if rng.Float64() < QSimProb {
+				support = append(support, q)
+			}
+		}
+		switch len(support) {
+		case 0:
+			continue
+		case 1:
+			c.AddBlock(1) // single-qubit rotation only
+			continue
+		}
+		down := make([]circuit.CZ, 0, len(support)-1)
+		for i := 0; i+1 < len(support); i++ {
+			down = append(down, circuit.NewCZ(support[i], support[i+1]))
+		}
+		up := make([]circuit.CZ, len(down))
+		for i, g := range down {
+			up[len(down)-1-i] = g
+		}
+		c.AddBlock(len(support), down...) // basis change + down-ladder
+		c.AddBlock(1, up...)              // central rotation + up-ladder
+	}
+	return c
+}
+
+func edgesToGates(g *graphutil.Graph) []circuit.CZ {
+	edges := g.Edges()
+	gates := make([]circuit.CZ, len(edges))
+	for i, e := range edges {
+		gates[i] = circuit.NewCZ(e[0], e[1])
+	}
+	return gates
+}

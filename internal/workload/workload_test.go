@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"testing"
+
+	"powermove/internal/circuit"
+)
+
+func mustValidate(t *testing.T, c *circuit.Circuit) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+}
+
+func TestQAOARegularGateCount(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{30, 3}, {40, 3}, {100, 3}, {30, 4}, {80, 4}} {
+		c := QAOARegular(tc.n, tc.d, 7)
+		mustValidate(t, c)
+		if got, want := c.CZCount(), tc.n*tc.d/2; got != want {
+			t.Errorf("QAOA-regular%d-%d: %d CZ gates, want %d", tc.d, tc.n, got, want)
+		}
+		if got, want := c.OneQCount(), 2*tc.n; got != want {
+			t.Errorf("QAOA-regular%d-%d: %d 1Q gates, want %d", tc.d, tc.n, got, want)
+		}
+		// One commutable ZZ block plus the mixer layer.
+		if len(c.Blocks) != 2 {
+			t.Errorf("QAOA-regular%d-%d: %d blocks, want 2", tc.d, tc.n, len(c.Blocks))
+		}
+		// Every qubit participates: a d-regular graph has no isolated
+		// vertices.
+		if got := len(c.Blocks[0].Qubits()); got != tc.n {
+			t.Errorf("QAOA-regular%d-%d: block touches %d qubits, want %d", tc.d, tc.n, got, tc.n)
+		}
+	}
+}
+
+func TestQAOARandomDensity(t *testing.T) {
+	c := QAOARandom(30, 3)
+	mustValidate(t, c)
+	max := 30 * 29 / 2
+	got := c.CZCount()
+	if got < max/3 || got > 2*max/3 {
+		t.Errorf("QAOA-random-30 has %d of %d possible edges; expected near half", got, max)
+	}
+}
+
+func TestQFTStructure(t *testing.T) {
+	n := 10
+	c := QFT(n)
+	mustValidate(t, c)
+	if got, want := c.CZCount(), n*(n-1)/2; got != want {
+		t.Errorf("QFT-%d: %d CZ gates, want %d", n, got, want)
+	}
+	if got := len(c.Blocks); got != n {
+		t.Errorf("QFT-%d: %d blocks, want %d", n, got, n)
+	}
+	// Block k holds the controlled phases from qubit k to all later
+	// qubits, so every gate of block k involves qubit k.
+	for k, b := range c.Blocks {
+		if len(b.Gates) != n-k-1 {
+			t.Errorf("QFT block %d has %d gates, want %d", k, len(b.Gates), n-k-1)
+		}
+		for _, g := range b.Gates {
+			if !g.Acts(k) {
+				t.Errorf("QFT block %d gate %v does not act on qubit %d", k, g, k)
+			}
+		}
+		if b.OneQ != 1 {
+			t.Errorf("QFT block %d has %d 1Q gates, want 1 (the Hadamard)", k, b.OneQ)
+		}
+	}
+}
+
+func TestBVBalancedSecret(t *testing.T) {
+	for _, n := range []int{14, 50, 70, 2, 3} {
+		c := BV(n, 5)
+		mustValidate(t, c)
+		// Half the data qubits (rounded down) carry a 1-bit; each
+		// contributes one CZ with the ancilla.
+		want := (n - 1) / 2
+		if got := c.CZCount(); got != want {
+			t.Errorf("BV-%d: %d CZ gates, want %d", n, got, want)
+		}
+		for _, b := range c.Blocks {
+			for _, g := range b.Gates {
+				if !g.Acts(n - 1) {
+					t.Errorf("BV-%d: gate %v does not touch the ancilla", n, g)
+				}
+			}
+		}
+	}
+}
+
+func TestBVPanicsOnTooFewQubits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BV(1) did not panic")
+		}
+	}()
+	BV(1, 0)
+}
+
+func TestVQEStructure(t *testing.T) {
+	n := 30
+	c := VQE(n)
+	mustValidate(t, c)
+	if got, want := c.CZCount(), VQEReps*(n-1); got != want {
+		t.Errorf("VQE-%d: %d CZ gates, want %d", n, got, want)
+	}
+	if got, want := len(c.Blocks), VQEReps+1; got != want {
+		t.Errorf("VQE-%d: %d blocks, want %d", n, got, want)
+	}
+	// Entanglement is a chain: every gate joins adjacent qubits.
+	for _, b := range c.Blocks {
+		for _, g := range b.Gates {
+			if g.B != g.A+1 {
+				t.Errorf("VQE gate %v is not nearest-neighbor", g)
+			}
+		}
+	}
+}
+
+func TestQSimStructure(t *testing.T) {
+	c := QSim(20, 9)
+	mustValidate(t, c)
+	// Ladders mirror: every down block is followed by an up block with
+	// the same gates reversed.
+	for i := 0; i+1 < len(c.Blocks); i += 2 {
+		down, up := c.Blocks[i].Gates, c.Blocks[i+1].Gates
+		if len(down) == 0 {
+			continue // weight-<2 string contributes a 1Q-only block
+		}
+		if len(down) != len(up) {
+			t.Fatalf("blocks %d/%d: ladder lengths differ (%d vs %d)", i, i+1, len(down), len(up))
+		}
+		for j := range down {
+			if down[j] != up[len(up)-1-j] {
+				t.Fatalf("blocks %d/%d: up-ladder is not the mirror of the down-ladder", i, i+1)
+			}
+		}
+	}
+	if c.CZCount() == 0 {
+		t.Error("QSim-20 generated no entangling gates; weight-0.3 strings should")
+	}
+}
+
+func TestGeneratorsDeterministicBySeed(t *testing.T) {
+	type gen func() *circuit.Circuit
+	cases := map[string][2]gen{
+		"QAOA-regular": {
+			func() *circuit.Circuit { return QAOARegular(20, 3, 42) },
+			func() *circuit.Circuit { return QAOARegular(20, 3, 42) },
+		},
+		"QAOA-random": {
+			func() *circuit.Circuit { return QAOARandom(20, 42) },
+			func() *circuit.Circuit { return QAOARandom(20, 42) },
+		},
+		"BV": {
+			func() *circuit.Circuit { return BV(20, 42) },
+			func() *circuit.Circuit { return BV(20, 42) },
+		},
+		"QSim": {
+			func() *circuit.Circuit { return QSim(20, 42) },
+			func() *circuit.Circuit { return QSim(20, 42) },
+		},
+	}
+	for name, pair := range cases {
+		a, b := pair[0](), pair[1]()
+		if len(a.Blocks) != len(b.Blocks) || a.CZCount() != b.CZCount() {
+			t.Errorf("%s: same seed produced different circuits", name)
+			continue
+		}
+		for bi := range a.Blocks {
+			for gi := range a.Blocks[bi].Gates {
+				if a.Blocks[bi].Gates[gi] != b.Blocks[bi].Gates[gi] {
+					t.Errorf("%s: same seed produced different gates", name)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsVaryBySeed(t *testing.T) {
+	a := QAOARandom(20, 1)
+	b := QAOARandom(20, 2)
+	if a.CZCount() == b.CZCount() {
+		// Counts can coincide; compare gate lists.
+		same := true
+		for i := range a.Blocks[0].Gates {
+			if i >= len(b.Blocks[0].Gates) || a.Blocks[0].Gates[i] != b.Blocks[0].Gates[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical QAOA-random circuits")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]string{
+		QAOARegular(30, 3, 1).Name: "QAOA-regular3-30",
+		QAOARegular(40, 4, 1).Name: "QAOA-regular4-40",
+		QAOARandom(20, 1).Name:     "QAOA-random-20",
+		QFT(18).Name:               "QFT-18",
+		BV(14, 1).Name:             "BV-14",
+		VQE(30).Name:               "VQE-30",
+		QSim(10, 1).Name:           "QSIM-rand-10",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestQAOARegularP(t *testing.T) {
+	c := QAOARegularP(20, 3, 3, 7)
+	mustValidate(t, c)
+	if got, want := c.CZCount(), 3*20*3/2; got != want {
+		t.Errorf("p=3 circuit has %d CZ gates, want %d", got, want)
+	}
+	if got := len(c.Blocks); got != 4 {
+		t.Errorf("p=3 circuit has %d blocks, want 4 (3 ZZ + mixer)", got)
+	}
+	if c.Name != "QAOA-regular3-20-p3" {
+		t.Errorf("name = %q", c.Name)
+	}
+	// Depth 1 keeps the historical name.
+	if QAOARegularP(20, 3, 1, 7).Name != "QAOA-regular3-20" {
+		t.Error("p=1 name changed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("p=0 did not panic")
+		}
+	}()
+	QAOARegularP(10, 3, 0, 1)
+}

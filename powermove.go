@@ -1,0 +1,167 @@
+// Package powermove is a compiler for neutral-atom quantum computers with
+// a zoned architecture, reproducing "PowerMove: Optimizing Compilation for
+// Neutral Atom Quantum Computers with Zoned Architecture" (ASPLOS 2025).
+//
+// The compiler lowers circuits of commutable CZ blocks onto hardware with
+// a computation zone, a storage zone, and one or more AOD arrays for
+// collective qubit movement. Its three components — the Stage Scheduler,
+// the Continuous Router, and the Coll-Move Scheduler — exploit the
+// interplay between gate scheduling, qubit allocation, qubit movement,
+// and the zoned architecture to cut excitation and decoherence errors and
+// execution time relative to revert-to-initial-layout compilation.
+//
+// Typical use:
+//
+//	circ := powermove.QAOARegular(30, 3, 42)        // or ParseQASM(...)
+//	hw := powermove.DefaultArch(circ.Qubits, 1)     // Table-2 geometry
+//	run, err := powermove.CompileAndRun(circ, hw, powermove.Options{
+//		UseStorage: true,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(run.Execution.Fidelity, run.Execution.Time)
+//
+// The package is a thin facade over the internal packages; everything here
+// is re-exported so downstream code needs only this import.
+package powermove
+
+import (
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/core"
+	"powermove/internal/enola"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
+	"powermove/internal/qasm"
+	"powermove/internal/sim"
+	"powermove/internal/trace"
+	"powermove/internal/viz"
+	"powermove/internal/workload"
+)
+
+// Core types re-exported for library consumers.
+type (
+	// Circuit is the synthesized quantum-program IR: alternating
+	// single-qubit layers and commutable CZ blocks.
+	Circuit = circuit.Circuit
+	// CZ is a two-qubit controlled-Z gate.
+	CZ = circuit.CZ
+	// Arch describes one zoned hardware instance.
+	Arch = arch.Arch
+	// Options configures a PowerMove compilation.
+	Options = core.Options
+	// Program is a compiled instruction stream.
+	Program = isa.Program
+	// Layout assigns qubits to trap sites.
+	Layout = layout.Layout
+	// ExecutionResult carries the fidelity, timing, and event counts of
+	// one simulated execution.
+	ExecutionResult = sim.Result
+	// CompileResult carries a compiled program, its required initial
+	// layout, and compiler statistics.
+	CompileResult = core.Result
+	// EnolaOptions configures the Enola baseline compiler.
+	EnolaOptions = enola.Options
+)
+
+// NewCircuit returns an empty circuit on n qubits; add blocks with
+// Circuit.AddBlock and gates with NewCZ.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// NewCZ returns the normalized CZ gate on qubits a and b.
+func NewCZ(a, b int) CZ { return circuit.NewCZ(a, b) }
+
+// DefaultArch builds the paper's default hardware geometry (Table 2) for a
+// program of the given size: a ceil(sqrt(n))-square computation grid and a
+// double-height storage grid below it, with the given number of AOD
+// arrays (1 in the paper's default configuration).
+func DefaultArch(qubits, aods int) *Arch {
+	return arch.New(arch.Config{Qubits: qubits, AODs: aods})
+}
+
+// Compile lowers circ for hw with the PowerMove pipeline.
+func Compile(circ *Circuit, hw *Arch, opts Options) (*CompileResult, error) {
+	return core.Compile(circ, hw, opts)
+}
+
+// CompileEnola lowers circ with the Enola baseline (revert-to-home
+// movement, no storage zone), for comparison studies.
+func CompileEnola(circ *Circuit, hw *Arch, opts EnolaOptions) (*enola.Result, error) {
+	return enola.Compile(circ, hw, opts)
+}
+
+// Execute runs a compiled program on the simulated hardware, validating
+// every movement and occupancy constraint and returning fidelity and
+// timing per the paper's model (Sec. 2.2).
+func Execute(prog *Program, initial *Layout) (*ExecutionResult, error) {
+	return sim.Execute(prog, initial)
+}
+
+// ExecuteWithTrace runs a compiled program like Execute and additionally
+// returns the execution timeline (one event per instruction), renderable
+// as an ASCII Gantt chart or serializable to JSON.
+func ExecuteWithTrace(prog *Program, initial *Layout) (*ExecutionResult, *Trace, error) {
+	return sim.ExecuteWithTrace(prog, initial)
+}
+
+// Trace is an execution timeline recorded by ExecuteWithTrace.
+type Trace = trace.Trace
+
+// RenderLayout draws a layout as an ASCII occupancy grid (computation
+// zone on top, storage zone below).
+func RenderLayout(l *Layout) string { return viz.Layout(l) }
+
+// RunResult pairs a compilation with its simulated execution.
+type RunResult struct {
+	Compile   *CompileResult
+	Execution *ExecutionResult
+}
+
+// CompileAndRun compiles circ and executes it from the compiler's initial
+// layout in one step.
+func CompileAndRun(circ *Circuit, hw *Arch, opts Options) (*RunResult, error) {
+	cr, err := core.Compile(circ, hw, opts)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := sim.Execute(cr.Program, cr.Initial)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Compile: cr, Execution: exec}, nil
+}
+
+// ParseQASM lowers an OpenQASM 2.0 source string (see internal/qasm for
+// the supported subset) to a Circuit named name.
+func ParseQASM(name, src string) (*Circuit, error) {
+	prog, err := qasm.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Circuit, nil
+}
+
+// WriteQASM serializes a circuit back to OpenQASM 2.0.
+func WriteQASM(c *Circuit) string { return qasm.Write(c) }
+
+// Benchmark-circuit generators (Sec. 7.1 of the paper).
+
+// QAOARegular returns a depth-1 QAOA MaxCut circuit on a random d-regular
+// graph with n vertices.
+func QAOARegular(n, d int, seed int64) *Circuit { return workload.QAOARegular(n, d, seed) }
+
+// QAOARandom returns a depth-1 QAOA circuit on a G(n, 0.5) random graph.
+func QAOARandom(n int, seed int64) *Circuit { return workload.QAOARandom(n, seed) }
+
+// QFT returns the n-qubit quantum Fourier transform.
+func QFT(n int) *Circuit { return workload.QFT(n) }
+
+// BV returns an n-qubit Bernstein-Vazirani circuit with a balanced random
+// secret.
+func BV(n int, seed int64) *Circuit { return workload.BV(n, seed) }
+
+// VQE returns a hardware-efficient VQE ansatz with linear entanglement.
+func VQE(n int) *Circuit { return workload.VQE(n) }
+
+// QSim returns a random quantum-simulation circuit of ten weight-0.3
+// Pauli strings.
+func QSim(n int, seed int64) *Circuit { return workload.QSim(n, seed) }

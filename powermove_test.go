@@ -1,0 +1,97 @@
+package powermove
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart is the end-to-end test of the facade: the
+// quickstart flow from the package documentation.
+func TestPublicAPIQuickstart(t *testing.T) {
+	circ := QAOARegular(30, 3, 42)
+	hw := DefaultArch(circ.Qubits, 1)
+	run, err := CompileAndRun(circ, hw, Options{UseStorage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Execution.Fidelity <= 0 || run.Execution.Fidelity > 1 {
+		t.Errorf("fidelity = %v", run.Execution.Fidelity)
+	}
+	if run.Execution.Components.Excitation != 1 {
+		t.Errorf("storage pipeline left excitation error: %v", run.Execution.Components.Excitation)
+	}
+	if run.Compile.Stats.Stages == 0 {
+		t.Error("no stages compiled")
+	}
+}
+
+// TestBaselineComparison: the facade reproduces the paper's qualitative
+// result on a mid-size benchmark through public API calls only.
+func TestBaselineComparison(t *testing.T) {
+	circ := BV(50, 3)
+	hw := DefaultArch(circ.Qubits, 1)
+
+	ours, err := CompileAndRun(circ, hw, Options{UseStorage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := CompileEnola(circ, hw, EnolaOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseExec, err := Execute(base.Program, base.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Execution.Fidelity <= baseExec.Fidelity {
+		t.Errorf("PowerMove fidelity %v not above Enola %v",
+			ours.Execution.Fidelity, baseExec.Fidelity)
+	}
+}
+
+func TestHandBuiltCircuit(t *testing.T) {
+	circ := NewCircuit("hand", 4)
+	circ.AddBlock(4, NewCZ(0, 1), NewCZ(2, 3))
+	circ.AddBlock(0, NewCZ(1, 2))
+	run, err := CompileAndRun(circ, DefaultArch(4, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Execution.Counts.CZGates != 3 {
+		t.Errorf("executed %d CZ gates, want 3", run.Execution.Counts.CZGates)
+	}
+}
+
+func TestQASMFacade(t *testing.T) {
+	src := "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[2];\n"
+	circ, err := ParseQASM("ghz3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ.Qubits != 3 || circ.CZCount() != 2 {
+		t.Fatalf("parsed %s", circ)
+	}
+	out := WriteQASM(circ)
+	if !strings.Contains(out, "qreg q[3];") {
+		t.Errorf("WriteQASM output missing register: %s", out)
+	}
+	if _, err := ParseQASM("bad", "not qasm"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestGeneratorsExposed(t *testing.T) {
+	gens := map[string]*Circuit{
+		"QAOARegular": QAOARegular(12, 3, 1),
+		"QAOARandom":  QAOARandom(12, 1),
+		"QFT":         QFT(8),
+		"BV":          BV(10, 1),
+		"VQE":         VQE(10),
+		"QSim":        QSim(10, 1),
+	}
+	for name, c := range gens {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
