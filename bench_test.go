@@ -1,6 +1,7 @@
 // Benchmark harness: one bench per table and figure of the paper's
-// evaluation (Sec. 7), plus ablation benches for the design choices called
-// out in DESIGN.md and micro-benchmarks of the pipeline's hot paths.
+// evaluation (Sec. 7), plus ablation benches for the compiler's design
+// choices (see docs/ARCHITECTURE.md) and micro-benchmarks of the
+// pipeline's hot paths.
 //
 // Quality metrics (fidelity, execution time, group counts) are attached to
 // each bench via b.ReportMetric, so `go test -bench=.` regenerates both
@@ -10,9 +11,11 @@
 //	go test -bench 'BenchmarkFigure6' -benchmem    # Fig. 6 panels
 //	go test -bench 'BenchmarkFigure7' -benchmem    # Fig. 7 sweep
 //	go test -bench 'BenchmarkAblation' -benchmem   # ablations
+//	go test -bench 'BenchmarkPipeline' -benchmem   # batch-engine scaling
 package powermove
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -111,6 +114,51 @@ func BenchmarkFigure7(b *testing.B) {
 		count++
 	}
 	b.ReportMetric(speedup/float64(count), "mean-4aod-speedup-x")
+}
+
+// BenchmarkPipeline runs the full Table-3 suite (69 compile-and-simulate
+// jobs) through the batch engine at several worker counts, with a fresh
+// cache per iteration so every job compiles. On a multi-core host the
+// jobs/8 sub-bench completes the suite at least ~2x faster than jobs/1;
+// on a single-core host the worker counts tie.
+func BenchmarkPipeline(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, _, err := CompileBatch(context.Background(),
+					experiments.Table3Jobs(), BatchOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := BatchFirstError(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineCached measures a warm-cache pass over the Table-3
+// suite: the engine's bookkeeping floor when every job is a cache hit.
+func BenchmarkPipelineCached(b *testing.B) {
+	cache := NewBatchCache()
+	opts := BatchOptions{Workers: 8, Cache: cache}
+	if _, _, err := CompileBatch(context.Background(), experiments.Table3Jobs(), opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, stats, err := CompileBatch(context.Background(), experiments.Table3Jobs(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := BatchFirstError(results); err != nil {
+			b.Fatal(err)
+		}
+		if stats.Compiles != 0 {
+			b.Fatalf("warm pass compiled %d jobs", stats.Compiles)
+		}
+	}
 }
 
 // benchAblation compiles QAOA-regular3-60 under two option sets and

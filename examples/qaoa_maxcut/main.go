@@ -1,5 +1,6 @@
 // QAOA MaxCut scaling study: the workload the paper's introduction
-// motivates. Compiles depth-1 QAOA circuits on random 3-regular graphs of
+// motivates (Sec. 1, evaluated in Sec. 7.2).
+// Compiles depth-1 QAOA circuits on random 3-regular graphs of
 // growing size with the Enola baseline and with PowerMove (both modes),
 // and prints how fidelity and execution time scale.
 //

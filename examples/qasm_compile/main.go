@@ -1,6 +1,6 @@
 // QASM ingestion: parse an OpenQASM 2.0 program (a 4-qubit GHZ-style
-// circuit written with cx gates), lower it to the commutable-CZ-block IR,
-// compile it, and print the instruction stream.
+// circuit written with cx gates), lower it to the commutable-CZ-block IR
+// of Sec. 2.2 of the paper, compile it, and print the instruction stream.
 //
 //	go run ./examples/qasm_compile
 package main

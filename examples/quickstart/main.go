@@ -1,5 +1,7 @@
 // Quickstart: build a tiny circuit by hand, compile it with the full
-// zoned pipeline, and inspect the schedule and its simulated metrics.
+// zoned pipeline (Stage Scheduler, Continuous Router, and Coll-Move
+// Scheduler — Sec. 4, 5, and 6 of the paper), and inspect the schedule
+// and its simulated metrics.
 //
 //	go run ./examples/quickstart
 package main

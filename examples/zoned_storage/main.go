@@ -1,5 +1,6 @@
-// Storage-zone ablation on Bernstein-Vazirani, the workload where the
-// zoned architecture matters most: every CZ touches the shared ancilla,
+// Storage-zone ablation on Bernstein-Vazirani (the Fig. 6 excitation
+// ablation of Sec. 7.3 of the paper), the workload where the zoned
+// architecture (Sec. 2.1) matters most: every CZ touches the shared ancilla,
 // so the circuit serializes into many single-gate Rydberg stages and every
 // idle qubit left in the computation zone pays excitation error at every
 // pulse. Parking idle qubits in the storage zone removes that error class

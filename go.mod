@@ -1,0 +1,3 @@
+module powermove
+
+go 1.24

@@ -1,7 +1,9 @@
 // Package exact computes provably optimal Rydberg-stage partitions for
-// small commutable CZ blocks by branch and bound. The compiler never
-// calls it — minimizing the number of stages is NP-hard in general, which
-// is why the paper's pipeline is heuristic — but the test suite uses it
+// small commutable CZ blocks by branch and bound, the exact counterpart
+// of the Stage Scheduler's greedy partitioner (Sec. 4.1 of the paper).
+// The compiler never calls it — minimizing the number of stages is
+// NP-hard in general, which is why the paper's pipeline is heuristic —
+// but the test suite uses it
 // to measure how far the production partitioner strays from optimal, and
 // it is available for offline analysis of small kernels.
 package exact

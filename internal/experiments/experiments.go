@@ -1,21 +1,21 @@
-// Package experiments defines the paper's evaluation (Sec. 7) as runnable
-// experiments: the benchmark suite of Table 2, the three-way comparison of
-// Table 3 (Enola baseline vs PowerMove non-storage vs PowerMove
-// with-storage), the fidelity-component ablations of Fig. 6, and the
-// multi-AOD sweep of Fig. 7. cmd/experiments and the repository's
+// Package experiments defines the paper's evaluation (Sec. 7) as
+// declarative job lists over the concurrent batch engine of
+// internal/pipeline: the benchmark suite of Table 2 (Sec. 7.1), the
+// three-way comparison of Table 3 (Enola baseline vs PowerMove
+// non-storage vs PowerMove with-storage, Sec. 7.2), the
+// fidelity-component ablations of Fig. 6 (Sec. 7.3), and the multi-AOD
+// sweep of Fig. 7 (Sec. 7.4). cmd/experiments and the repository's
 // benchmark harness are thin wrappers over this package.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"time"
+	"sync"
 
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
-	"powermove/internal/core"
-	"powermove/internal/enola"
-	"powermove/internal/fidelity"
-	"powermove/internal/sim"
+	"powermove/internal/pipeline"
 	"powermove/internal/workload"
 )
 
@@ -35,7 +35,9 @@ const (
 
 // Spec identifies one benchmark instance: a family and a qubit count. The
 // seed of every randomized generator is derived deterministically from the
-// spec, so repeated runs are identical.
+// spec, so repeated runs are identical — the seeding contract the batch
+// engine's cache and worker-count independence rest on (see
+// docs/ARCHITECTURE.md).
 type Spec struct {
 	Family Family
 	Qubits int
@@ -82,6 +84,24 @@ func (s Spec) Arch(aods int) *arch.Arch {
 	return arch.New(arch.Config{Qubits: s.Qubits, AODs: aods})
 }
 
+// Job returns the batch job for one evaluation point of this instance.
+func (s Spec) Job(scheme pipeline.Scheme, aods int) pipeline.Job {
+	return pipeline.NewJob(s.String(), scheme, aods, s.Circuit)
+}
+
+// ComparisonJobs returns the three jobs of one Table-3 row: the baseline
+// (always single-AOD, as in the paper) and both PowerMove modes with the
+// given AOD count. The benchmark circuit is synthesized once and shared
+// across the three jobs.
+func (s Spec) ComparisonJobs(aods int) []pipeline.Job {
+	gen := sync.OnceValues(s.Circuit)
+	return []pipeline.Job{
+		{Key: s.Job(pipeline.Enola, 1).Key, Circuit: gen},
+		{Key: s.Job(pipeline.NonStorage, aods).Key, Circuit: gen},
+		{Key: s.Job(pipeline.WithStorage, aods).Key, Circuit: gen},
+	}
+}
+
 // Table2Specs returns the 23 benchmark instances of Table 2, in table
 // order.
 func Table2Specs() []Spec {
@@ -98,22 +118,20 @@ func Table2Specs() []Spec {
 	}
 }
 
-// SchemeResult is one compiler's outcome on one benchmark instance.
-type SchemeResult struct {
-	// Fidelity is the headline output fidelity (Equation 1, 1Q term
-	// excluded per Sec. 2.2).
-	Fidelity float64
-	// Components are the individual fidelity factors, for Fig. 6.
-	Components fidelity.Components
-	// Texe is the execution time in microseconds.
-	Texe float64
-	// Tcomp is the measured compilation time.
-	Tcomp time.Duration
-	// Stages is the number of Rydberg pulses the schedule uses.
-	Stages int
-	// Moves is the number of executed 1Q relocations.
-	Moves int
+// Table3Jobs returns the full Table-3 job list: three schemes for each of
+// the 23 Table-2 instances, in table order.
+func Table3Jobs() []pipeline.Job {
+	var jobs []pipeline.Job
+	for _, spec := range Table2Specs() {
+		jobs = append(jobs, spec.ComparisonJobs(1)...)
+	}
+	return jobs
 }
+
+// SchemeResult is one compiler's outcome on one benchmark instance. It is
+// the batch engine's outcome type: fidelity and components per Equation 1,
+// execution time, measured compile time, and schedule counts.
+type SchemeResult = pipeline.Outcome
 
 // RowResult is one full Table-3 row: all three schemes on one instance.
 type RowResult struct {
@@ -153,8 +171,83 @@ func (r *RowResult) TcompImprovement() float64 {
 	return float64(r.Enola.Tcomp) / float64(ours)
 }
 
+// Runner executes experiment job lists on the batch engine. The zero
+// value runs with GOMAXPROCS workers and a fresh shared cache; a Runner
+// reused across calls (e.g. Table3 then Figure6 then Figure7) shares its
+// cache between them, so overlapping evaluation points compile once.
+type Runner struct {
+	// Jobs bounds worker concurrency; values < 1 select GOMAXPROCS.
+	Jobs int
+	// OnResult, when set, streams per-job completions (see
+	// pipeline.Options.OnResult).
+	OnResult func(done, total int, r pipeline.Result)
+
+	cache *pipeline.Cache
+	stats pipeline.Stats
+}
+
+// Stats returns the accumulated engine accounting of every run so far.
+func (rn *Runner) Stats() pipeline.Stats { return rn.stats }
+
+// run executes jobs and indexes the outcomes by key. Per-job errors
+// abort with the first failure; a cancelled context aborts with ctx.Err.
+func (rn *Runner) run(ctx context.Context, jobs []pipeline.Job) (map[pipeline.Key]pipeline.Outcome, error) {
+	if rn.cache == nil {
+		rn.cache = pipeline.NewCache()
+	}
+	results, stats, err := pipeline.Run(ctx, jobs, pipeline.Options{
+		Workers:  rn.Jobs,
+		OnResult: rn.OnResult,
+		Cache:    rn.cache,
+	})
+	rn.stats.Jobs += stats.Jobs
+	if stats.Workers > rn.stats.Workers {
+		rn.stats.Workers = stats.Workers
+	}
+	rn.stats.Compiles += stats.Compiles
+	rn.stats.CacheHits += stats.CacheHits
+	rn.stats.Wall += stats.Wall
+	if err != nil {
+		return nil, err
+	}
+	if err := pipeline.FirstError(results); err != nil {
+		return nil, err
+	}
+	outcomes := make(map[pipeline.Key]pipeline.Outcome, len(results))
+	for _, r := range results {
+		outcomes[r.Key] = r.Outcome
+	}
+	return outcomes, nil
+}
+
+// row assembles one Table-3 row from computed outcomes.
+func row(spec Spec, aods int, outcomes map[pipeline.Key]pipeline.Outcome) *RowResult {
+	return &RowResult{
+		Spec:        spec,
+		Enola:       outcomes[spec.Job(pipeline.Enola, 1).Key],
+		NonStorage:  outcomes[spec.Job(pipeline.NonStorage, aods).Key],
+		WithStorage: outcomes[spec.Job(pipeline.WithStorage, aods).Key],
+	}
+}
+
+// Table3Rows runs the full Table-3 comparison concurrently and returns
+// the rows in table order.
+func (rn *Runner) Table3Rows(ctx context.Context) ([]*RowResult, error) {
+	outcomes, err := rn.run(ctx, Table3Jobs())
+	if err != nil {
+		return nil, err
+	}
+	specs := Table2Specs()
+	rows := make([]*RowResult, 0, len(specs))
+	for _, spec := range specs {
+		rows = append(rows, row(spec, 1, outcomes))
+	}
+	return rows, nil
+}
+
 // Run executes the full three-way comparison for one benchmark instance on
-// its default single-AOD architecture.
+// its default single-AOD architecture, serially on the calling goroutine's
+// budget (the batch path is Runner.Table3Rows).
 func Run(spec Spec) (*RowResult, error) {
 	return RunWithAODs(spec, 1)
 }
@@ -162,61 +255,10 @@ func Run(spec Spec) (*RowResult, error) {
 // RunWithAODs executes the three-way comparison with the given number of
 // AOD arrays (the baseline always uses one, as in the paper).
 func RunWithAODs(spec Spec, aods int) (*RowResult, error) {
-	circ, err := spec.Circuit()
+	rn := &Runner{Jobs: 1}
+	outcomes, err := rn.run(context.Background(), spec.ComparisonJobs(aods))
 	if err != nil {
 		return nil, err
 	}
-	row := &RowResult{Spec: spec}
-
-	row.Enola, err = runEnola(circ, spec.Arch(1))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s baseline: %w", spec, err)
-	}
-	row.NonStorage, err = runPowerMove(circ, spec.Arch(aods), false)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s non-storage: %w", spec, err)
-	}
-	row.WithStorage, err = runPowerMove(circ, spec.Arch(aods), true)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s with-storage: %w", spec, err)
-	}
-	return row, nil
-}
-
-func runEnola(circ *circuit.Circuit, a *arch.Arch) (SchemeResult, error) {
-	res, err := enola.Compile(circ, a, enola.Options{Seed: 1})
-	if err != nil {
-		return SchemeResult{}, err
-	}
-	exec, err := sim.Execute(res.Program, res.Initial)
-	if err != nil {
-		return SchemeResult{}, err
-	}
-	return SchemeResult{
-		Fidelity:   exec.Fidelity,
-		Components: exec.Components,
-		Texe:       exec.Time,
-		Tcomp:      res.Stats.CompileTime,
-		Stages:     exec.Stages,
-		Moves:      res.Stats.Moves,
-	}, nil
-}
-
-func runPowerMove(circ *circuit.Circuit, a *arch.Arch, storage bool) (SchemeResult, error) {
-	res, err := core.Compile(circ, a, core.Options{UseStorage: storage, Seed: 1})
-	if err != nil {
-		return SchemeResult{}, err
-	}
-	exec, err := sim.Execute(res.Program, res.Initial)
-	if err != nil {
-		return SchemeResult{}, err
-	}
-	return SchemeResult{
-		Fidelity:   exec.Fidelity,
-		Components: exec.Components,
-		Texe:       exec.Time,
-		Tcomp:      res.Stats.CompileTime,
-		Stages:     exec.Stages,
-		Moves:      res.Stats.Moves,
-	}, nil
+	return row(spec, aods, outcomes), nil
 }

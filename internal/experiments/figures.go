@@ -1,8 +1,15 @@
 // Figure-level experiments: the per-component fidelity ablations of Fig. 6
-// and the multi-AOD sweep of Fig. 7.
+// (Sec. 7.3) and the multi-AOD sweep of Fig. 7 (Sec. 7.4), as job lists
+// over the batch engine.
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"powermove/internal/pipeline"
+)
 
 // Figure6Sizes returns the qubit counts swept for each panel of Fig. 6,
 // matching the x-axis ranges of the paper's plots.
@@ -28,6 +35,20 @@ func Figure6Families() []Family {
 	return []Family{QAOARegular3, QSim, QFT, VQE, BV}
 }
 
+// Figure6Jobs returns one panel's job list: the family swept over its
+// figure sizes, all three schemes per size.
+func Figure6Jobs(f Family) ([]pipeline.Job, error) {
+	sizes := Figure6Sizes(f)
+	if sizes == nil {
+		return nil, fmt.Errorf("experiments: family %q is not a Fig. 6 panel", f)
+	}
+	var jobs []pipeline.Job
+	for _, n := range sizes {
+		jobs = append(jobs, Spec{Family: f, Qubits: n}.ComparisonJobs(1)...)
+	}
+	return jobs, nil
+}
+
 // Figure6Point is one x-position of one Fig. 6 panel: the fidelity
 // components of all three schemes at one qubit count.
 type Figure6Point struct {
@@ -35,23 +56,32 @@ type Figure6Point struct {
 	Row    *RowResult
 }
 
-// Figure6 runs one panel of Fig. 6: the given family swept over its
-// figure sizes, recording the per-component fidelity breakdown for the
-// baseline and both PowerMove modes.
-func Figure6(f Family) ([]Figure6Point, error) {
-	sizes := Figure6Sizes(f)
-	if sizes == nil {
-		return nil, fmt.Errorf("experiments: family %q is not a Fig. 6 panel", f)
+// Figure6Panel runs one panel of Fig. 6 concurrently: the given family
+// swept over its figure sizes, recording the per-component fidelity
+// breakdown for the baseline and both PowerMove modes.
+func (rn *Runner) Figure6Panel(ctx context.Context, f Family) ([]Figure6Point, error) {
+	jobs, err := Figure6Jobs(f)
+	if err != nil {
+		return nil, err
 	}
+	outcomes, err := rn.run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	sizes := Figure6Sizes(f)
 	points := make([]Figure6Point, 0, len(sizes))
 	for _, n := range sizes {
-		row, err := Run(Spec{Family: f, Qubits: n})
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, Figure6Point{Qubits: n, Row: row})
+		spec := Spec{Family: f, Qubits: n}
+		points = append(points, Figure6Point{Qubits: n, Row: row(spec, 1, outcomes)})
 	}
 	return points, nil
+}
+
+// Figure6 runs one panel of Fig. 6 on a fresh serial runner; the batch
+// path is Runner.Figure6Panel.
+func Figure6(f Family) ([]Figure6Point, error) {
+	rn := &Runner{Jobs: 1}
+	return rn.Figure6Panel(context.Background(), f)
 }
 
 // Figure7Specs returns the five benchmark instances of the multi-AOD study
@@ -70,6 +100,23 @@ func Figure7Specs() []Spec {
 // MaxAODs is the largest AOD count swept in Fig. 7.
 const MaxAODs = 4
 
+// Figure7Jobs returns the multi-AOD job list: the with-storage pipeline
+// (the paper's full framework) at AOD counts 1..MaxAODs over the Fig. 7
+// benchmarks, grouped per spec with AODs ascending.
+func Figure7Jobs() []pipeline.Job {
+	var jobs []pipeline.Job
+	for _, spec := range Figure7Specs() {
+		gen := sync.OnceValues(spec.Circuit)
+		for aods := 1; aods <= MaxAODs; aods++ {
+			jobs = append(jobs, pipeline.Job{
+				Key:     spec.Job(pipeline.WithStorage, aods).Key,
+				Circuit: gen,
+			})
+		}
+	}
+	return jobs
+}
+
 // Figure7Point records the full-pipeline result of one benchmark under one
 // AOD count.
 type Figure7Point struct {
@@ -78,22 +125,29 @@ type Figure7Point struct {
 	Result SchemeResult
 }
 
-// Figure7 sweeps AOD counts 1..MaxAODs over the Fig. 7 benchmarks, running
-// the with-storage pipeline (the paper's full framework).
-func Figure7() ([]Figure7Point, error) {
+// Figure7Sweep runs the Fig. 7 sweep concurrently, returning points
+// grouped per spec with AODs ascending 1..MaxAODs.
+func (rn *Runner) Figure7Sweep(ctx context.Context) ([]Figure7Point, error) {
+	outcomes, err := rn.run(ctx, Figure7Jobs())
+	if err != nil {
+		return nil, err
+	}
 	var points []Figure7Point
 	for _, spec := range Figure7Specs() {
-		circ, err := spec.Circuit()
-		if err != nil {
-			return nil, err
-		}
 		for aods := 1; aods <= MaxAODs; aods++ {
-			res, err := runPowerMove(circ, spec.Arch(aods), true)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s with %d AODs: %w", spec, aods, err)
-			}
-			points = append(points, Figure7Point{Spec: spec, AODs: aods, Result: res})
+			points = append(points, Figure7Point{
+				Spec:   spec,
+				AODs:   aods,
+				Result: outcomes[spec.Job(pipeline.WithStorage, aods).Key],
+			})
 		}
 	}
 	return points, nil
+}
+
+// Figure7 runs the sweep on a fresh serial runner; the batch path is
+// Runner.Figure7Sweep.
+func Figure7() ([]Figure7Point, error) {
+	rn := &Runner{Jobs: 1}
+	return rn.Figure7Sweep(context.Background())
 }

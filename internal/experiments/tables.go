@@ -3,6 +3,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"powermove/internal/arch"
@@ -42,21 +43,23 @@ func Table2() *report.Table {
 	return t
 }
 
-// Table3 runs the full main-results comparison and renders it in the
-// column layout of Table 3 of the paper.
-func Table3() (*report.Table, []*RowResult, error) {
+// Table3Render renders computed Table-3 rows in the column layout of
+// Table 3 of the paper. With stable set, the three wall-clock
+// compile-time columns print as "-" so the rendered table is byte-for-byte
+// reproducible across runs and worker counts (every other column is a
+// deterministic function of the benchmark suite).
+func Table3Render(rows []*RowResult, stable bool) *report.Table {
 	t := report.NewTable("Table 3: main results (Enola baseline vs PowerMove)",
 		"Benchmark", "Enola Fid", "Our Fid (non-st)", "Our Fid (storage)", "Fid Improv",
 		"Enola Texe(us)", "Our Texe (non-st)", "Our Texe (storage)", "Texe Improv",
 		"Enola Tcomp", "Our Tcomp", "Tcomp Improv")
-	rows := make([]*RowResult, 0, len(Table2Specs()))
-	for _, spec := range Table2Specs() {
-		row, err := Run(spec)
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	for _, row := range rows {
 		ourTcomp := (row.NonStorage.Tcomp + row.WithStorage.Tcomp) / 2
+		enolaTcomp, ourTcompS, improv := row.Enola.Tcomp.String(), ourTcomp.String(),
+			report.Ratio(row.TcompImprovement())
+		if stable {
+			enolaTcomp, ourTcompS, improv = "-", "-", "-"
+		}
 		t.AddRow(row.Spec.String(),
 			report.Sci(row.Enola.Fidelity),
 			report.Sci(row.NonStorage.Fidelity),
@@ -66,17 +69,30 @@ func Table3() (*report.Table, []*RowResult, error) {
 			report.Fixed(row.NonStorage.Texe, 1),
 			report.Fixed(row.WithStorage.Texe, 1),
 			report.Ratio(row.TexeImprovement()),
-			row.Enola.Tcomp.String(),
-			ourTcomp.String(),
-			report.Ratio(row.TcompImprovement()))
+			enolaTcomp,
+			ourTcompS,
+			improv)
 	}
-	return t, rows, nil
+	return t
+}
+
+// Table3 runs the full main-results comparison on a fresh serial runner
+// and renders it; the batch path is Runner.Table3Rows + Table3Render.
+func Table3() (*report.Table, []*RowResult, error) {
+	rn := &Runner{Jobs: 1}
+	rows, err := rn.Table3Rows(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	return Table3Render(rows, false), rows, nil
 }
 
 // Summary renders the aggregate claims of Sec. 7.2 from a set of Table-3
 // rows: the execution-time improvement range, the largest fidelity
-// improvement, and the largest compilation-time improvement.
-func Summary(rows []*RowResult) *report.Table {
+// improvement, and the largest compilation-time improvement. With stable
+// set the wall-clock compile-time claim prints as "-" (the rows' measured
+// compile times are excluded from reproducible output).
+func Summary(rows []*RowResult, stable bool) *report.Table {
 	t := report.NewTable("Sec. 7.2 aggregate claims", "Claim", "Paper", "Measured")
 	minTexe, maxTexe := 0.0, 0.0
 	maxFid, maxTcomp := 0.0, 0.0
@@ -98,7 +114,11 @@ func Summary(rows []*RowResult) *report.Table {
 	t.AddRow("Execution-time improvement range", "1.71x - 3.46x",
 		fmt.Sprintf("%s - %s", report.Ratio(minTexe), report.Ratio(maxTexe)))
 	t.AddRow("Max fidelity improvement", "1090x (BV-70)", report.Ratio(maxFid))
-	t.AddRow("Max compile-time improvement", "213.5x (BV-70)", report.Ratio(maxTcomp))
+	measuredTcomp := report.Ratio(maxTcomp)
+	if stable {
+		measuredTcomp = "-"
+	}
+	t.AddRow("Max compile-time improvement", "213.5x (BV-70)", measuredTcomp)
 	return t
 }
 

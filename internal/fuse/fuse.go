@@ -1,6 +1,7 @@
 // Package fuse implements an optional circuit-level optimization pass
 // that merges consecutive dependent CZ blocks whose gate supports are
-// disjoint. Gates on disjoint qubits commute, so such blocks can execute
+// disjoint, extending the paper's pipeline ahead of the Stage Scheduler
+// (Sec. 4). Gates on disjoint qubits commute, so such blocks can execute
 // under shared Rydberg stages; fusing them lets the stage scheduler
 // parallelize across what the front end emitted as sequential blocks.
 // QSim-style workloads — many small Pauli-string blocks on scattered

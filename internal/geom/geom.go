@@ -1,9 +1,9 @@
 // Package geom provides the 2D geometry primitives used throughout the
 // PowerMove compiler: points in the plane (micrometre coordinates),
-// axis-aligned rectangles, and the distance helpers the router and the
-// movement model rely on.
+// axis-aligned rectangles, and the distance helpers the router (Sec. 5 of
+// the paper) and the movement-time model (Sec. 2.1) rely on.
 //
-// Coordinates follow the convention fixed in DESIGN.md: x grows to the
+// Coordinates follow the convention fixed in docs/ARCHITECTURE.md: x grows to the
 // right, y grows upward, and all lengths are in micrometres.
 package geom
 

@@ -1,8 +1,9 @@
 // Package graphutil provides the graph algorithms the compiler stack is
 // built on: a compact undirected graph, the degree-ordered greedy coloring
-// of Algorithm 1 of the paper (used by the stage scheduler), the iterated
-// maximal-independent-set extraction used by the Enola baseline, and the
-// random-graph generators behind the QAOA workloads.
+// of Algorithm 1 of the paper (used by the Sec. 4 stage scheduler), the
+// iterated maximal-independent-set extraction used by the Enola baseline
+// (Sec. 3), and the random-graph generators behind the QAOA workloads
+// (Sec. 7.1).
 package graphutil
 
 import (

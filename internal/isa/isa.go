@@ -1,8 +1,9 @@
 // Package isa defines the low-level instruction stream both compilers emit
 // and the executor consumes: parallel single-qubit layers, batches of
-// collective moves distributed across AOD arrays, and global Rydberg
-// pulses. A Program is the compiled artifact; it can be disassembled to a
-// human-readable listing for inspection.
+// collective moves distributed across AOD arrays (the Coll-Moves of
+// Sec. 6 of the paper), and the global Rydberg pulses of the Sec. 2.1
+// execution model. A Program is the compiled artifact; it can be
+// disassembled to a human-readable listing for inspection.
 package isa
 
 import (

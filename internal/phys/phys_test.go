@@ -8,8 +8,7 @@ import (
 
 // TestMoveTimeMatchesPaperExamples reproduces the two worked examples of
 // Table 1 / Sec. 2.1 of the paper: a 27.5 um move takes 100 us and a
-// 110 um move takes 200 us under the acceleration limit (experiment E10
-// of DESIGN.md).
+// 110 um move takes 200 us under the acceleration limit (experiment E10).
 func TestMoveTimeMatchesPaperExamples(t *testing.T) {
 	tests := []struct {
 		dist, want float64
@@ -115,7 +114,7 @@ func TestPowPanicsOnNegativeExponent(t *testing.T) {
 }
 
 // TestTable1Parameters pins the physical constants to the values of
-// Table 1 of the paper (experiment E1 of DESIGN.md). A change to any of
+// Table 1 of the paper (experiment E1). A change to any of
 // these silently alters every reproduced number, so they are asserted
 // exactly.
 func TestTable1Parameters(t *testing.T) {

@@ -1,0 +1,351 @@
+// Package pipeline is the concurrent batch-compilation engine behind the
+// paper's evaluation (Sec. 7): it fans independent compile-and-simulate
+// jobs — one per (benchmark, scheme, AOD-count) point of Table 3, Fig. 6,
+// and Fig. 7 — across a bounded pool of worker goroutines with
+// deterministic per-job seeding, context cancellation, per-job timing, and
+// a keyed in-memory result cache so evaluation points that share a
+// compilation (the Fig. 6 panels re-sweep Table-3 instances, Fig. 7
+// re-runs their with-storage compiles) compile once and are reused
+// everywhere.
+//
+// Every job is a pure function of its Key: circuit generators derive
+// their seeds from the benchmark identity (experiments.Spec.seed), both
+// compilers are deterministic given their fixed option seeds, and the
+// executor is deterministic given a program. The engine therefore
+// guarantees that results are identical — byte for byte, excluding
+// measured wall-clock compile times — whatever the worker count, and
+// returns them in job order regardless of completion order.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/core"
+	"powermove/internal/enola"
+	"powermove/internal/fidelity"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
+	"powermove/internal/sim"
+)
+
+// Scheme names one of the three compilation schemes the evaluation
+// compares (the columns of Table 3).
+type Scheme string
+
+// The schemes of the paper's three-way comparison.
+const (
+	// Enola is the baseline compiler (Sec. 3): revert-to-home movement,
+	// computation zone only, always a single AOD.
+	Enola Scheme = "enola"
+	// NonStorage is the PowerMove pipeline restricted to the
+	// computation zone (continuous routing without the storage zone).
+	NonStorage Scheme = "non-storage"
+	// WithStorage is the full zoned PowerMove pipeline.
+	WithStorage Scheme = "with-storage"
+)
+
+// Key identifies one evaluation point. It is the cache key: two jobs with
+// equal keys must describe identical work, which holds whenever Circuit
+// generators are deterministic functions of Bench (the repository-wide
+// seeding contract, see docs/ARCHITECTURE.md).
+type Key struct {
+	// Bench names the benchmark instance, e.g. "BV-70".
+	Bench string
+	// Scheme selects the compiler.
+	Scheme Scheme
+	// AODs is the number of AOD arrays of the target architecture.
+	AODs int
+}
+
+// String renders the key as "bench/scheme/kaod".
+func (k Key) String() string { return fmt.Sprintf("%s/%s/%daod", k.Bench, k.Scheme, k.AODs) }
+
+// Job is one unit of batch work: generate a circuit, build the target
+// hardware, compile with the key's scheme, and simulate the result.
+type Job struct {
+	Key Key
+	// Circuit generates the benchmark circuit. It must be deterministic
+	// in Key.Bench — derive any seed from the benchmark identity, never
+	// from the clock — or caching and run-to-run reproducibility break.
+	Circuit func() (*circuit.Circuit, error)
+	// Arch builds the target hardware. Nil selects the default Table-2
+	// geometry for the circuit's qubit count with Key.AODs arrays.
+	Arch func() *arch.Arch
+}
+
+// NewJob builds the standard job for one evaluation point: gen generates
+// the circuit and the architecture defaults to the Table-2 geometry with
+// the key's AOD count.
+func NewJob(bench string, scheme Scheme, aods int, gen func() (*circuit.Circuit, error)) Job {
+	return Job{
+		Key:     Key{Bench: bench, Scheme: scheme, AODs: aods},
+		Circuit: gen,
+	}
+}
+
+// Outcome is the evaluation payload of one job. Every field except Tcomp
+// is a deterministic function of the job's key; Tcomp is the measured
+// wall-clock compilation time and varies run to run.
+type Outcome struct {
+	// Fidelity is the headline output fidelity (Equation 1, 1Q term
+	// excluded per Sec. 2.2).
+	Fidelity float64
+	// Components are the individual fidelity factors, for Fig. 6.
+	Components fidelity.Components
+	// Texe is the simulated execution time in microseconds.
+	Texe float64
+	// Tcomp is the measured compilation time.
+	Tcomp time.Duration
+	// Stages is the number of Rydberg pulses the schedule uses.
+	Stages int
+	// Moves is the number of executed 1Q relocations.
+	Moves int
+}
+
+// Result pairs a job's outcome with its engine-level accounting.
+type Result struct {
+	Key     Key
+	Outcome Outcome
+	// Err is the job's failure, if any; other jobs keep running.
+	Err error
+	// Elapsed is the wall-clock time this job occupied a worker. For a
+	// cache hit this is near zero when the outcome was already
+	// computed, but includes the full wait when the job blocked on
+	// another worker's in-flight compile of the same key.
+	Elapsed time.Duration
+	// Cached reports whether the outcome was served by the cache
+	// rather than compiled by this job.
+	Cached bool
+}
+
+// Options configures one batch run.
+type Options struct {
+	// Workers bounds the number of concurrent jobs; values < 1 select
+	// GOMAXPROCS.
+	Workers int
+	// OnResult, when set, streams each result as it completes. Calls
+	// are serialized; done counts completed jobs, total is len(jobs).
+	// Completion order is nondeterministic — consumers needing job
+	// order use the returned slice.
+	OnResult func(done, total int, r Result)
+	// Cache, when set, is consulted and filled by this run, sharing
+	// outcomes with previous and concurrent runs. Nil uses a private
+	// per-run cache (duplicate keys within the run still compile once).
+	Cache *Cache
+}
+
+// Stats aggregates one run's engine accounting.
+type Stats struct {
+	// Jobs is the number of jobs submitted.
+	Jobs int
+	// Workers is the effective worker count of the run: the requested
+	// bound after defaulting to GOMAXPROCS and clamping to the job
+	// count.
+	Workers int
+	// Compiles is the number of jobs that actually compiled.
+	Compiles int
+	// CacheHits is the number of jobs served from the cache (including
+	// jobs that waited on another in-flight job with the same key).
+	CacheHits int
+	// Wall is the end-to-end batch duration.
+	Wall time.Duration
+}
+
+// Cache is a keyed outcome cache safe for concurrent use. A key is
+// computed at most once: concurrent requests for an uncomputed key block
+// until the first computation finishes and then share its outcome.
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*cacheEntry
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	outcome Outcome
+	err     error
+}
+
+// NewCache returns an empty cache, for sharing across batch runs.
+func NewCache() *Cache { return &Cache{} }
+
+// Len returns the number of cached keys (computed or in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// getOrCompute returns the outcome for key, running compute at most once
+// per key. The second return reports whether the entry already existed
+// (a cache hit — possibly still in flight on another goroutine).
+func (c *Cache) getOrCompute(key Key, compute func() (Outcome, error)) (Outcome, error, bool) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[Key]*cacheEntry)
+	}
+	e, hit := c.m[key]
+	if !hit {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.outcome, e.err = compute() })
+	return e.outcome, e.err, hit
+}
+
+// Run executes jobs across the worker pool and returns one result per
+// job, in job order. Per-job failures are reported in Result.Err and do
+// not stop the batch; FirstError collects them. The returned error is
+// non-nil only when ctx is cancelled, in which case unstarted jobs are
+// abandoned and in-flight jobs are drained before returning.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, Stats, error) {
+	start := time.Now()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	results := make([]Result, len(jobs))
+	var compiles, hits atomic.Int64
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	var emitMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r := runJob(jobs[i], cache, &compiles, &hits)
+				results[i] = r
+				if opts.OnResult != nil {
+					emitMu.Lock()
+					opts.OnResult(int(done.Add(1)), len(jobs), r)
+					emitMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var runErr error
+dispatch:
+	for i := range jobs {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	stats := Stats{
+		Jobs:      len(jobs),
+		Workers:   workers,
+		Compiles:  int(compiles.Load()),
+		CacheHits: int(hits.Load()),
+		Wall:      time.Since(start),
+	}
+	if runErr != nil {
+		return nil, stats, runErr
+	}
+	return results, stats, nil
+}
+
+// FirstError returns the first per-job failure in job order, or nil.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("pipeline: %s: %w", r.Key, r.Err)
+		}
+	}
+	return nil
+}
+
+func runJob(job Job, cache *Cache, compiles, hits *atomic.Int64) Result {
+	jobStart := time.Now()
+	outcome, err, hit := cache.getOrCompute(job.Key, func() (Outcome, error) {
+		compiles.Add(1)
+		return execute(job)
+	})
+	if hit {
+		hits.Add(1)
+	}
+	return Result{
+		Key:     job.Key,
+		Outcome: outcome,
+		Err:     err,
+		Elapsed: time.Since(jobStart),
+		Cached:  hit,
+	}
+}
+
+// execute runs one job end to end: generate, compile with the key's
+// scheme, simulate.
+func execute(job Job) (Outcome, error) {
+	circ, err := job.Circuit()
+	if err != nil {
+		return Outcome{}, err
+	}
+	hw := defaultArch(job, circ)
+
+	switch job.Key.Scheme {
+	case Enola:
+		res, err := enola.Compile(circ, hw, enola.Options{Seed: 1})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return simulate(res.Program, res.Initial, res.Stats.CompileTime, res.Stats.Moves)
+	case NonStorage, WithStorage:
+		opts := core.Options{UseStorage: job.Key.Scheme == WithStorage, Seed: 1}
+		res, err := core.Compile(circ, hw, opts)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return simulate(res.Program, res.Initial, res.Stats.CompileTime, res.Stats.Moves)
+	default:
+		return Outcome{}, fmt.Errorf("unknown scheme %q", job.Key.Scheme)
+	}
+}
+
+func defaultArch(job Job, circ *circuit.Circuit) *arch.Arch {
+	if job.Arch != nil {
+		return job.Arch()
+	}
+	return arch.New(arch.Config{Qubits: circ.Qubits, AODs: job.Key.AODs})
+}
+
+func simulate(prog *isa.Program, initial *layout.Layout, tcomp time.Duration, moves int) (Outcome, error) {
+	exec, err := sim.Execute(prog, initial)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Fidelity:   exec.Fidelity,
+		Components: exec.Components,
+		Texe:       exec.Time,
+		Tcomp:      tcomp,
+		Stages:     exec.Stages,
+		Moves:      moves,
+	}, nil
+}

@@ -1,0 +1,279 @@
+package pipeline_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"powermove/internal/circuit"
+	"powermove/internal/experiments"
+	"powermove/internal/pipeline"
+)
+
+// slice is a small Table-3 slice: the three-way comparison over three
+// quick benchmark instances (nine jobs). The -race CI run executes every
+// test in this file over it on eight workers.
+func slice() []pipeline.Job {
+	var jobs []pipeline.Job
+	for _, spec := range []experiments.Spec{
+		{Family: experiments.QSim, Qubits: 10},
+		{Family: experiments.BV, Qubits: 14},
+		{Family: experiments.QFT, Qubits: 18},
+	} {
+		jobs = append(jobs, spec.ComparisonJobs(1)...)
+	}
+	return jobs
+}
+
+// canonical marshals the deterministic payload of results: everything
+// except the measured wall-clock fields (Tcomp, Elapsed) and the
+// scheduling-dependent Cached flag.
+func canonical(t *testing.T, results []pipeline.Result) string {
+	t.Helper()
+	var b []byte
+	for _, r := range results {
+		r.Outcome.Tcomp = 0
+		r.Elapsed = 0
+		r.Cached = false
+		enc, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = append(b, enc...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// TestDeterministicAcrossWorkers checks the engine's central guarantee:
+// the same job list produces byte-identical results on one worker and on
+// eight, in job order both times.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	serial, _, err := pipeline.Run(ctx, slice(), pipeline.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := pipeline.Run(ctx, slice(), pipeline.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.FirstError(serial); err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonical(t, serial), canonical(t, parallel)
+	if a != b {
+		t.Errorf("results differ between 1 and 8 workers:\n%s\nvs\n%s", a, b)
+	}
+	for i, r := range parallel {
+		if want := slice()[i].Key; r.Key != want {
+			t.Errorf("result %d has key %s, want %s (job order violated)", i, r.Key, want)
+		}
+	}
+}
+
+// TestCacheAccounting checks that duplicate keys compile once, that the
+// stats ledger adds up, and that a shared cache carries outcomes across
+// runs.
+func TestCacheAccounting(t *testing.T) {
+	jobs := append(slice(), slice()...) // every key twice
+	results, stats, err := pipeline.Run(context.Background(), jobs, pipeline.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	unique := len(slice())
+	if stats.Jobs != 2*unique {
+		t.Errorf("Jobs = %d, want %d", stats.Jobs, 2*unique)
+	}
+	if stats.Workers != 8 {
+		t.Errorf("Workers = %d, want 8", stats.Workers)
+	}
+	if stats.Compiles != unique {
+		t.Errorf("Compiles = %d, want %d (duplicate keys must share one compile)", stats.Compiles, unique)
+	}
+	if stats.CacheHits != unique {
+		t.Errorf("CacheHits = %d, want %d", stats.CacheHits, unique)
+	}
+	for i := 0; i < unique; i++ {
+		first, second := results[i], results[i+unique]
+		if first.Key != second.Key {
+			t.Fatalf("result order broken at %d", i)
+		}
+		if first.Outcome != second.Outcome {
+			t.Errorf("%s: duplicate jobs disagree", first.Key)
+		}
+	}
+
+	shared := pipeline.NewCache()
+	_, warm, err := pipeline.Run(context.Background(), slice(), pipeline.Options{Workers: 2, Cache: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Compiles != unique || warm.CacheHits != 0 {
+		t.Errorf("cold shared run: %d compiles, %d hits", warm.Compiles, warm.CacheHits)
+	}
+	_, hot, err := pipeline.Run(context.Background(), slice(), pipeline.Options{Workers: 2, Cache: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Compiles != 0 || hot.CacheHits != unique {
+		t.Errorf("warm shared run: %d compiles, %d hits, want 0 and %d", hot.Compiles, hot.CacheHits, unique)
+	}
+	if shared.Len() != unique {
+		t.Errorf("shared cache holds %d keys, want %d", shared.Len(), unique)
+	}
+}
+
+// TestCancellation checks that cancelling the context aborts dispatch:
+// Run reports ctx.Err and stops issuing new jobs.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, _, err := pipeline.Run(ctx, slice(), pipeline.Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Errorf("cancelled run returned results")
+	}
+
+	// Cancel mid-run from the progress callback: later jobs must be
+	// abandoned, and Run must still drain cleanly.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	_, stats, err := pipeline.Run(ctx, slice(), pipeline.Options{
+		Workers: 1,
+		OnResult: func(done, total int, r pipeline.Result) {
+			if seen.Add(1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if stats.Compiles >= len(slice()) {
+		t.Errorf("mid-run cancel compiled all %d jobs", stats.Compiles)
+	}
+}
+
+// TestStreamingProgress checks the OnResult contract: one serialized call
+// per job with a monotonically complete done counter.
+func TestStreamingProgress(t *testing.T) {
+	jobs := slice()
+	seen := make(map[int]bool)
+	_, _, err := pipeline.Run(context.Background(), jobs, pipeline.Options{
+		Workers: 4,
+		OnResult: func(done, total int, r pipeline.Result) {
+			if total != len(jobs) {
+				t.Errorf("total = %d, want %d", total, len(jobs))
+			}
+			if seen[done] {
+				t.Errorf("done=%d reported twice", done)
+			}
+			seen[done] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= len(jobs); i++ {
+		if !seen[i] {
+			t.Errorf("no progress call with done=%d", i)
+		}
+	}
+}
+
+// TestJobErrors checks that one failing job does not poison the batch.
+func TestJobErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []pipeline.Job{
+		pipeline.NewJob("bad", pipeline.WithStorage, 1, func() (*circuit.Circuit, error) {
+			return nil, boom
+		}),
+		experiments.Spec{Family: experiments.QSim, Qubits: 10}.Job(pipeline.WithStorage, 1),
+	}
+	results, stats, err := pipeline.Run(context.Background(), jobs, pipeline.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, boom) {
+		t.Errorf("results[0].Err = %v, want boom", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Outcome.Fidelity <= 0 {
+		t.Errorf("healthy job failed alongside the bad one: %+v", results[1])
+	}
+	if err := pipeline.FirstError(results); !errors.Is(err, boom) {
+		t.Errorf("FirstError = %v, want boom", err)
+	}
+	if stats.Compiles != 2 {
+		t.Errorf("Compiles = %d, want 2 (a failed compile still counts)", stats.Compiles)
+	}
+
+	unknown := pipeline.Job{
+		Key:     pipeline.Key{Bench: "x", Scheme: "bogus", AODs: 1},
+		Circuit: experiments.Spec{Family: experiments.QSim, Qubits: 10}.Circuit,
+	}
+	results, _, err = pipeline.Run(context.Background(), []pipeline.Job{unknown}, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestMatchesSerialReference cross-checks the engine against the
+// experiments package's serial per-row entry point.
+func TestMatchesSerialReference(t *testing.T) {
+	spec := experiments.Spec{Family: experiments.BV, Qubits: 14}
+	want, err := experiments.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := pipeline.Run(context.Background(), spec.ComparisonJobs(1), pipeline.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	got := map[pipeline.Scheme]pipeline.Outcome{}
+	for _, r := range results {
+		got[r.Key.Scheme] = r.Outcome
+	}
+	for _, cmp := range []struct {
+		scheme pipeline.Scheme
+		want   experiments.SchemeResult
+	}{
+		{pipeline.Enola, want.Enola},
+		{pipeline.NonStorage, want.NonStorage},
+		{pipeline.WithStorage, want.WithStorage},
+	} {
+		g := got[cmp.scheme]
+		if g.Fidelity != cmp.want.Fidelity || g.Texe != cmp.want.Texe ||
+			g.Stages != cmp.want.Stages || g.Moves != cmp.want.Moves ||
+			g.Components != cmp.want.Components {
+			t.Errorf("%s: batch outcome diverges from serial reference\nbatch:  %+v\nserial: %+v",
+				cmp.scheme, g, cmp.want)
+		}
+	}
+}
+
+// TestKeyString pins the key rendering used by progress output and logs.
+func TestKeyString(t *testing.T) {
+	k := pipeline.Key{Bench: "BV-70", Scheme: pipeline.WithStorage, AODs: 2}
+	if got, want := k.String(), "BV-70/with-storage/2aod"; got != want {
+		t.Errorf("Key.String = %q, want %q", got, want)
+	}
+	if fmt.Sprint(k) != k.String() {
+		t.Error("Key does not print via String")
+	}
+}

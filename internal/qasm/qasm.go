@@ -1,7 +1,7 @@
 // Package qasm ingests quantum programs written in a practical subset of
 // OpenQASM 2.0 and lowers them to the compiler's synthesized IR
-// (internal/circuit): alternating single-qubit layers and commutable CZ
-// blocks.
+// (internal/circuit): the alternating single-qubit layers and commutable
+// CZ blocks of Sec. 2.2 of the paper.
 //
 // Supported statements:
 //

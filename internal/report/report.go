@@ -1,6 +1,7 @@
 // Package report renders experiment results as aligned ASCII tables and
-// CSV, the output formats of cmd/experiments. It has no knowledge of the
-// experiments themselves; it formats rows of strings.
+// CSV, the output formats cmd/experiments uses to regenerate the tables
+// and figures of the paper's evaluation (Sec. 7). It has no knowledge of
+// the experiments themselves; it formats rows of strings.
 package report
 
 import (

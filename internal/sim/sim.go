@@ -1,7 +1,7 @@
 // Package sim executes compiled programs against the zoned-architecture
-// hardware model and produces the paper's three evaluation metrics:
-// output fidelity (Equation 1), execution time, and the raw event counts
-// behind both. The executor doubles as a validator: it re-checks every
+// hardware model and produces the paper's three evaluation metrics
+// (Sec. 2.2 and Sec. 7): output fidelity (Equation 1), execution time,
+// and the raw event counts behind both. The executor doubles as a validator: it re-checks every
 // hardware constraint independently of the compiler — AOD ordering
 // constraints within each collective move, trap-occupancy rules at every
 // step, and co-location of every scheduled CZ pair at every Rydberg pulse —

@@ -2,8 +2,9 @@
 // registers. The compiler never needs it — scheduling is purely
 // combinatorial — but the test suite uses it to prove *semantic*
 // correctness: a compiled program applies exactly the circuit's unitary,
-// because reordering gates within a commutable CZ block (the only liberty
-// the stage scheduler takes) cannot change the state. It is also a useful
+// because reordering gates within a commutable CZ block of the Sec. 2.2
+// IR (the only liberty the Sec. 4 stage scheduler takes) cannot change
+// the state. It is also a useful
 // standalone tool for validating small workloads end to end.
 //
 // The simulator supports the gate set the IR needs: Hadamard, Pauli gates,

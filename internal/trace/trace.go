@@ -1,5 +1,6 @@
-// Package trace records the timeline of a simulated execution: one event
-// per instruction with its start time, duration, and the qubits involved.
+// Package trace records the timeline of a simulated execution under the
+// duration model of Sec. 2.1 of the paper: one event per instruction with
+// its start time, duration, and the qubits involved.
 // Traces serialize to JSON for external tooling and render as an ASCII
 // Gantt chart for quick inspection (cmd/powermove -trace).
 package trace

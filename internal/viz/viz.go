@@ -1,7 +1,8 @@
 // Package viz renders qubit layouts as ASCII grids for debugging and for
 // the CLI's -layouts flag. The computation zone is drawn on top (rows
 // descending), then the inter-zone gap, then the storage zone, matching
-// the physical geometry of the zoned architecture.
+// the physical geometry of the zoned architecture (Sec. 2.1 of the
+// paper).
 package viz
 
 import (

@@ -25,12 +25,15 @@
 package powermove
 
 import (
+	"context"
+
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
 	"powermove/internal/core"
 	"powermove/internal/enola"
 	"powermove/internal/isa"
 	"powermove/internal/layout"
+	"powermove/internal/pipeline"
 	"powermove/internal/qasm"
 	"powermove/internal/sim"
 	"powermove/internal/trace"
@@ -129,6 +132,64 @@ func CompileAndRun(circ *Circuit, hw *Arch, opts Options) (*RunResult, error) {
 	}
 	return &RunResult{Compile: cr, Execution: exec}, nil
 }
+
+// Batch-compilation types re-exported from the concurrent engine of
+// internal/pipeline.
+type (
+	// BatchJob is one compile-and-simulate unit of a batch: a circuit
+	// generator plus the (benchmark, scheme, AOD-count) key that
+	// identifies and caches it.
+	BatchJob = pipeline.Job
+	// BatchKey identifies one evaluation point and doubles as its
+	// cache key.
+	BatchKey = pipeline.Key
+	// BatchResult pairs a job's outcome with its timing and cache
+	// provenance.
+	BatchResult = pipeline.Result
+	// BatchOutcome is the evaluation payload of one job.
+	BatchOutcome = pipeline.Outcome
+	// BatchOptions bounds worker concurrency and wires streaming
+	// progress and a shared cache.
+	BatchOptions = pipeline.Options
+	// BatchStats aggregates a run's engine accounting.
+	BatchStats = pipeline.Stats
+	// BatchCache is a keyed outcome cache shareable across batches.
+	BatchCache = pipeline.Cache
+	// Scheme selects the compiler of a batch job: SchemeEnola,
+	// SchemeNonStorage, or SchemeWithStorage.
+	Scheme = pipeline.Scheme
+)
+
+// The compilation schemes a batch job can select.
+const (
+	SchemeEnola       = pipeline.Enola
+	SchemeNonStorage  = pipeline.NonStorage
+	SchemeWithStorage = pipeline.WithStorage
+)
+
+// NewBatchJob builds the standard batch job for one evaluation point: gen
+// generates the circuit (deterministically — derive any seed from bench,
+// never from the clock) and the architecture defaults to the Table-2
+// geometry with the given AOD count.
+func NewBatchJob(bench string, scheme Scheme, aods int, gen func() (*Circuit, error)) BatchJob {
+	return pipeline.NewJob(bench, scheme, aods, gen)
+}
+
+// NewBatchCache returns an empty shared cache for CompileBatch.
+func NewBatchCache() *BatchCache { return pipeline.NewCache() }
+
+// CompileBatch compiles and simulates a batch of jobs across a bounded
+// worker pool, returning one result per job in job order regardless of
+// completion order. Jobs with equal keys compile once; per-job failures
+// land in BatchResult.Err without stopping the batch (BatchFirstError
+// collects them), and cancelling ctx aborts the run.
+func CompileBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	return pipeline.Run(ctx, jobs, opts)
+}
+
+// BatchFirstError returns the first per-job failure of a batch in job
+// order, or nil.
+func BatchFirstError(results []BatchResult) error { return pipeline.FirstError(results) }
 
 // ParseQASM lowers an OpenQASM 2.0 source string (see internal/qasm for
 // the supported subset) to a Circuit named name.
