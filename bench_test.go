@@ -354,3 +354,24 @@ func BenchmarkAblationFusion(b *testing.B) {
 	b.ReportMetric(float64(stagesOn), "stages-fused")
 	b.ReportMetric(float64(stagesOff), "stages-unfused")
 }
+
+// calibrationSink defeats dead-code elimination of the calibration loop.
+var calibrationSink uint64
+
+// BenchmarkCalibration performs a fixed amount of pure-CPU work that no
+// repository code influences: the machine-speed reference benchgate uses
+// to normalize ns/op before gating a PR document against a baseline
+// produced on different hardware. Keep it free of allocation, memory
+// traffic, and any call into the compiler, or a code change could move
+// the denominator and mask real regressions.
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(88172645463325252)
+		for j := 0; j < 150_000_000; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calibrationSink = x
+	}
+}

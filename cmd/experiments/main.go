@@ -110,7 +110,7 @@ func main() {
 		fail(err)
 		if *stable {
 			for _, r := range rows {
-				stabilizeRow(r)
+				r.Stabilize()
 			}
 		}
 		out.Table3 = rows
@@ -120,20 +120,14 @@ func main() {
 			emit(out.Summary)
 		}
 	}
-	figures := map[string]experiments.Family{
-		"6a": experiments.QAOARegular3,
-		"6b": experiments.QSim,
-		"6c": experiments.QFT,
-		"6d": experiments.VQE,
-		"6e": experiments.BV,
-	}
+	figures := experiments.Figure6Panels()
 	runFigure6 := func(panel string) {
 		fam := figures[panel]
 		points, err := runner.Figure6Panel(ctx, fam)
 		fail(err)
 		if *stable {
 			for _, pt := range points {
-				stabilizeRow(pt.Row)
+				pt.Row.Stabilize()
 			}
 		}
 		out.Figure6[panel] = points
@@ -194,12 +188,6 @@ type document struct {
 	Figure6 map[string][]experiments.Figure6Point `json:"figure6,omitempty"`
 	Figure7 []experiments.Figure7Point            `json:"figure7,omitempty"`
 	Stats   *pipeline.Stats                       `json:"stats,omitempty"`
-}
-
-// stabilizeRow zeroes the measured wall-clock fields, the only
-// nondeterministic part of a row.
-func stabilizeRow(r *experiments.RowResult) {
-	r.Enola.Tcomp, r.NonStorage.Tcomp, r.WithStorage.Tcomp = 0, 0, 0
 }
 
 func fail(err error) {

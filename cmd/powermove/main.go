@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +32,17 @@ func main() {
 		disasm   = flag.Bool("disasm", false, "print the compiled instruction stream")
 		traceOut = flag.Bool("trace", false, "print the execution timeline as an ASCII Gantt chart")
 		layouts  = flag.Bool("layouts", false, "print the initial and final qubit layouts")
+		jsonOut  = flag.Bool("json", false, "emit the compile-service JSON document instead of text (byte-identical to powermoved's /v1/compile response for the same request)")
+		stable   = flag.Bool("stable", false, "with -json: omit measured wall-clock fields so output is byte-identical across runs")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runJSON(*qasmPath, *bench, *n, *seed, *storage, *aods, *stable); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	circ, err := loadCircuit(*qasmPath, *bench, *n, *seed)
 	if err != nil {
@@ -82,6 +93,51 @@ func main() {
 		fmt.Printf("\ncomparison: fidelity %.2fx, execution time %.2fx\n",
 			run.Execution.Fidelity/exec.Fidelity, exec.Time/run.Execution.Time)
 	}
+}
+
+// runJSON compiles through the service path and prints its canonical
+// JSON document, the same bytes a powermoved daemon returns for this
+// request on a cold cache. Named benchmarks compile the paper instance
+// (spec-derived seed) unless -seed was given explicitly on the command
+// line, matching a workload request without/with a "seed" field.
+func runJSON(qasmPath, bench string, n int, seed int64, storage bool, aods int, stable bool) error {
+	req := powermove.ServiceCompileRequest{
+		Scheme: "non-storage",
+		AODs:   aods,
+		Stable: stable,
+	}
+	if storage {
+		req.Scheme = "with-storage"
+	}
+	switch {
+	case qasmPath != "" && bench != "":
+		return fmt.Errorf("specify only one of -qasm and -bench")
+	case qasmPath != "":
+		src, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return err
+		}
+		req.QASM = string(src)
+	case bench != "":
+		req.Workload = &powermove.ServiceWorkloadSpec{Family: bench, Qubits: n}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				req.Workload.Seed = &seed
+			}
+		})
+	default:
+		return fmt.Errorf("specify -qasm or -bench (see -help)")
+	}
+	reqBytes, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := powermove.CompileJSON(context.Background(), reqBytes)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
 }
 
 func loadCircuit(qasmPath, bench string, n int, seed int64) (*powermove.Circuit, error) {

@@ -1,0 +1,78 @@
+// Command powermoved is the long-running compile service: an HTTP
+// daemon over the PowerMove batch engine with a shared LRU compile
+// cache and singleflight request dedup (internal/service).
+//
+//	powermoved                        # serve on :8077
+//	powermoved -addr :9000 -workers 4 -cache-size 512
+//
+// Endpoints:
+//
+//	POST /v1/compile                  compile one circuit (QASM or workload)
+//	POST /v1/batch                    compile many points on the worker pool
+//	GET  /v1/experiments/table/{id}   tables 1, 2, 3          (?stable=1)
+//	GET  /v1/experiments/figure/{id}  figures 6a..6e, 7       (?stable=1)
+//	GET  /healthz                     liveness + uptime
+//	GET  /metrics                     cache/compile/latency counters
+//
+// For the same request, responses are byte-identical to
+// `powermove -json` (both run powermove.CompileJSON's path); CI's smoke
+// test holds the two to that contract. SIGINT/SIGTERM drain in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powermove"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8077", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrent compiles (<1 selects GOMAXPROCS)")
+		cacheSize = flag.Int("cache-size", 4096, "compile-cache capacity in outcomes (0 = unbounded)")
+	)
+	flag.Parse()
+
+	srv := powermove.NewServer(powermove.ServerConfig{Workers: *workers, CacheSize: *cacheSize})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("powermoved: serving on %s (cache %d entries)", *addr, *cacheSize)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("powermoved: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fail(err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powermoved:", err)
+	os.Exit(1)
+}

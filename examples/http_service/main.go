@@ -1,0 +1,108 @@
+// Example http_service drives a running powermoved daemon: it compiles
+// one named workload twice (the repeat is a cache hit), submits a small
+// three-scheme batch, and prints the daemon's cache counters.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/powermoved &
+//	go run ./examples/http_service -addr http://localhost:8077
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"powermove"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8077", "powermoved base URL")
+	flag.Parse()
+
+	// One evaluation point, twice: the second response reports cached=true.
+	req := powermove.ServiceCompileRequest{
+		Workload: &powermove.ServiceWorkloadSpec{Family: "QFT", Qubits: 18},
+		Scheme:   "with-storage",
+	}
+	for _, label := range []string{"cold", "warm"} {
+		var resp powermove.ServiceCompileResponse
+		if err := post(*addr+"/v1/compile", req, &resp); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %s fidelity=%.4f texe=%.1fus cached=%v\n",
+			label, resp.Bench, resp.Fidelity, resp.TexeUS, resp.Cached)
+	}
+
+	// A batch: the three-way comparison of one Table-3 row, fanned
+	// across the daemon's worker pool.
+	batch := map[string]any{"requests": []powermove.ServiceCompileRequest{
+		{Workload: &powermove.ServiceWorkloadSpec{Family: "BV", Qubits: 14}, Scheme: "enola"},
+		{Workload: &powermove.ServiceWorkloadSpec{Family: "BV", Qubits: 14}, Scheme: "non-storage"},
+		{Workload: &powermove.ServiceWorkloadSpec{Family: "BV", Qubits: 14}, Scheme: "with-storage"},
+	}}
+	var batchResp struct {
+		Results []struct {
+			Result *powermove.ServiceCompileResponse `json:"result"`
+			Error  string                            `json:"error"`
+		} `json:"results"`
+	}
+	if err := post(*addr+"/v1/batch", batch, &batchResp); err != nil {
+		fail(err)
+	}
+	fmt.Println("\nBV-14 three-way comparison:")
+	for _, item := range batchResp.Results {
+		if item.Error != "" {
+			fail(fmt.Errorf("batch item: %s", item.Error))
+		}
+		r := item.Result
+		fmt.Printf("  %-12s fidelity=%.4f texe=%.1fus\n", r.Scheme, r.Fidelity, r.TexeUS)
+	}
+
+	// The daemon's accounting: cache hits/misses/evictions, compiles,
+	// singleflight dedups, per-endpoint latency.
+	resp, err := http.Get(*addr + "/metrics")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Cache    json.RawMessage `json:"cache"`
+		Compiles int64           `json:"compiles"`
+		Deduped  int64           `json:"deduped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nmetrics: compiles=%d deduped=%d cache=%s\n", metrics.Compiles, metrics.Deduped, metrics.Cache)
+}
+
+// post sends v as JSON and decodes the JSON response into out.
+func post(url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, raw)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "http_service:", err)
+	os.Exit(1)
+}

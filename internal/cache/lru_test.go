@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEvictionOrder verifies the least-recently-used entry is the one
+// evicted, with Get and Put both counting as use.
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+
+	// Touch a, making b the LRU; inserting d must evict b.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; want it dropped as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction of b", k)
+		}
+	}
+
+	// Re-putting an existing key refreshes recency rather than growing.
+	c.Put("c", 33)
+	c.Put("e", 5) // LRU is now a (d, c refreshed after it)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived; want it dropped as LRU after c was refreshed")
+	}
+	if v, _ := c.Get("c"); v != 33 {
+		t.Fatalf("c = %d after re-put; want 33", v)
+	}
+}
+
+// TestCapacityBound verifies the entry count never exceeds capacity and
+// that zero capacity means unbounded.
+func TestCapacityBound(t *testing.T) {
+	c := New[int, int](5)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+		if n := c.Len(); n > 5 {
+			t.Fatalf("len = %d after %d puts; capacity is 5", n, i+1)
+		}
+	}
+	if n := c.Len(); n != 5 {
+		t.Fatalf("len = %d after 100 puts; want 5", n)
+	}
+	if keys := c.Keys(); len(keys) != 5 || keys[0] != 99 || keys[4] != 95 {
+		t.Fatalf("keys = %v; want [99 98 97 96 95]", keys)
+	}
+
+	u := New[int, int](0)
+	for i := 0; i < 1000; i++ {
+		u.Put(i, i)
+	}
+	if n := u.Len(); n != 1000 {
+		t.Fatalf("unbounded len = %d; want 1000", n)
+	}
+	if ev := u.Stats().Evictions; ev != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", ev)
+	}
+}
+
+// TestCounterAccuracy verifies hits, misses, and evictions count exactly.
+func TestCounterAccuracy(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "one")
+	c.Put(2, "two")
+
+	c.Get(1)     // hit
+	c.Get(3)     // miss
+	c.Get(2)     // hit
+	c.Put(3, "") // evicts 1
+	c.Get(1)     // miss
+
+	got := c.Stats()
+	want := Stats{Hits: 2, Misses: 2, Evictions: 1, Size: 2, Capacity: 2}
+	if got != want {
+		t.Fatalf("stats = %+v; want %+v", got, want)
+	}
+
+	// GetOrAdd counts once per call: a miss when it creates, a hit after.
+	if _, existed := c.GetOrAdd(9, func() string { return "nine" }); existed {
+		t.Fatal("GetOrAdd(9) reported existing on first call")
+	}
+	if v, existed := c.GetOrAdd(9, func() string { return "other" }); !existed || v != "nine" {
+		t.Fatalf("GetOrAdd(9) second call = %q, %v; want nine, true", v, existed)
+	}
+	got = c.Stats()
+	if got.Hits != 3 || got.Misses != 3 {
+		t.Fatalf("after GetOrAdd: hits=%d misses=%d; want 3, 3", got.Hits, got.Misses)
+	}
+}
+
+// TestRemove verifies removal and its interaction with Len.
+func TestRemove(t *testing.T) {
+	c := New[string, int](0)
+	c.Put("x", 1)
+	if !c.Remove("x") {
+		t.Fatal("Remove(x) = false; want true")
+	}
+	if c.Remove("x") {
+		t.Fatal("second Remove(x) = true; want false")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after remove; want 0", c.Len())
+	}
+}
+
+// TestConcurrentAccess hammers one small cache from many goroutines; run
+// under -race it checks the locking discipline, and afterwards the
+// capacity bound and counter consistency must still hold.
+func TestConcurrentAccess(t *testing.T) {
+	const (
+		goroutines = 16
+		ops        = 500
+		capacity   = 8
+	)
+	c := New[int, int](capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := (g*ops + i) % 32
+				switch i % 4 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				case 2:
+					c.GetOrAdd(k, func() int { return i })
+				case 3:
+					c.Keys()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := c.Len(); n > capacity {
+		t.Fatalf("len = %d; capacity is %d", n, capacity)
+	}
+	s := c.Stats()
+	gets := goroutines * ops / 2 // ops%4 in {1,2} consult the cache
+	if s.Hits+s.Misses != uint64(gets) {
+		t.Fatalf("hits+misses = %d; want %d", s.Hits+s.Misses, gets)
+	}
+}
+
+// TestStress covers mixed workloads across capacities, as a guard on the
+// list/map bookkeeping staying consistent.
+func TestStress(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("cap=%d", capacity), func(t *testing.T) {
+			c := New[int, int](capacity)
+			for i := 0; i < 10_000; i++ {
+				c.Put(i%(capacity*3), i)
+				c.Get(i % (capacity * 2))
+				if n := c.Len(); n > capacity {
+					t.Fatalf("len = %d > capacity %d", n, capacity)
+				}
+			}
+			if got := len(c.Keys()); got != c.Len() {
+				t.Fatalf("Keys() has %d entries, Len() = %d", got, c.Len())
+			}
+		})
+	}
+}

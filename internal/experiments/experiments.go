@@ -141,6 +141,14 @@ type RowResult struct {
 	WithStorage SchemeResult
 }
 
+// Stabilize zeroes the row's measured wall-clock fields — the only
+// nondeterministic part of a row — so documents built from it are
+// byte-identical across runs and worker counts. Every front end's
+// "stable" mode routes through here.
+func (r *RowResult) Stabilize() {
+	r.Enola.Tcomp, r.NonStorage.Tcomp, r.WithStorage.Tcomp = 0, 0, 0
+}
+
 // FidelityImprovement returns the paper's "Fidelity Improv." column:
 // with-storage fidelity over the baseline's.
 func (r *RowResult) FidelityImprovement() float64 {
@@ -181,8 +189,17 @@ type Runner struct {
 	// OnResult, when set, streams per-job completions (see
 	// pipeline.Options.OnResult).
 	OnResult func(done, total int, r pipeline.Result)
+	// Cache, when set, backs every run of this runner, sharing outcomes
+	// with other holders of the same cache (the compile service points
+	// its shared LRU here so /v1/experiments reuses /v1/compile work and
+	// vice versa). Nil allocates a private unbounded cache on first run.
+	Cache *pipeline.Cache
+	// Sem, when set, is an external concurrency gate shared with other
+	// pipeline users (see pipeline.Options.Sem); the compile service
+	// passes its compile semaphore so experiment runs respect the
+	// service-wide worker bound.
+	Sem chan struct{}
 
-	cache *pipeline.Cache
 	stats pipeline.Stats
 }
 
@@ -192,13 +209,14 @@ func (rn *Runner) Stats() pipeline.Stats { return rn.stats }
 // run executes jobs and indexes the outcomes by key. Per-job errors
 // abort with the first failure; a cancelled context aborts with ctx.Err.
 func (rn *Runner) run(ctx context.Context, jobs []pipeline.Job) (map[pipeline.Key]pipeline.Outcome, error) {
-	if rn.cache == nil {
-		rn.cache = pipeline.NewCache()
+	if rn.Cache == nil {
+		rn.Cache = pipeline.NewCache()
 	}
 	results, stats, err := pipeline.Run(ctx, jobs, pipeline.Options{
 		Workers:  rn.Jobs,
 		OnResult: rn.OnResult,
-		Cache:    rn.cache,
+		Cache:    rn.Cache,
+		Sem:      rn.Sem,
 	})
 	rn.stats.Jobs += stats.Jobs
 	if stats.Workers > rn.stats.Workers {

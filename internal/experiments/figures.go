@@ -35,6 +35,19 @@ func Figure6Families() []Family {
 	return []Family{QAOARegular3, QSim, QFT, VQE, BV}
 }
 
+// Figure6Panels maps the paper's panel names ("6a".."6e") to their
+// benchmark families — the one source of truth for every front end
+// (cmd/experiments flags, the service's /v1/experiments/figure route).
+func Figure6Panels() map[string]Family {
+	return map[string]Family{
+		"6a": QAOARegular3,
+		"6b": QSim,
+		"6c": QFT,
+		"6d": VQE,
+		"6e": BV,
+	}
+}
+
 // Figure6Jobs returns one panel's job list: the family swept over its
 // figure sizes, all three schemes per size.
 func Figure6Jobs(f Family) ([]pipeline.Job, error) {

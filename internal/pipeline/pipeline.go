@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"powermove/internal/arch"
+	"powermove/internal/cache"
 	"powermove/internal/circuit"
 	"powermove/internal/core"
 	"powermove/internal/enola"
@@ -139,6 +140,13 @@ type Options struct {
 	// outcomes with previous and concurrent runs. Nil uses a private
 	// per-run cache (duplicate keys within the run still compile once).
 	Cache *Cache
+	// Sem, when set, is an external concurrency gate shared across
+	// runs: every worker acquires a slot before executing a job and
+	// releases it afterwards, so concurrent runs holding the same
+	// channel are jointly bounded by its capacity (the compile service
+	// shares one gate across all requests). Within a run, Workers still
+	// applies; the effective bound is the smaller of the two.
+	Sem chan struct{}
 }
 
 // Stats aggregates one run's engine accounting.
@@ -158,12 +166,18 @@ type Stats struct {
 	Wall time.Duration
 }
 
-// Cache is a keyed outcome cache safe for concurrent use. A key is
-// computed at most once: concurrent requests for an uncomputed key block
-// until the first computation finishes and then share its outcome.
+// Cache is a keyed outcome cache safe for concurrent use, backed by the
+// generic LRU of internal/cache. A key is computed at most once while its
+// entry is resident: concurrent requests for an uncomputed key block
+// until the first computation finishes and then share its outcome. A
+// bounded cache (NewCacheBounded) evicts least-recently-used outcomes,
+// trading recompilation for bounded memory — the right shape for a
+// long-running server; batch runs use the unbounded NewCache, whose
+// working set is the job list itself.
 type Cache struct {
-	mu sync.Mutex
-	m  map[Key]*cacheEntry
+	init sync.Once
+	cap  int
+	lru  *cache.LRU[Key, *cacheEntry]
 }
 
 type cacheEntry struct {
@@ -172,30 +186,35 @@ type cacheEntry struct {
 	err     error
 }
 
-// NewCache returns an empty cache, for sharing across batch runs.
+// NewCache returns an empty unbounded cache, for sharing across batch
+// runs.
 func NewCache() *Cache { return &Cache{} }
 
-// Len returns the number of cached keys (computed or in flight).
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+// NewCacheBounded returns an empty cache holding at most capacity
+// outcomes (0 means unbounded).
+func NewCacheBounded(capacity int) *Cache { return &Cache{cap: capacity} }
+
+// ensure lazily builds the backing LRU so the zero Cache is usable.
+func (c *Cache) ensure() *cache.LRU[Key, *cacheEntry] {
+	c.init.Do(func() { c.lru = cache.New[Key, *cacheEntry](c.cap) })
+	return c.lru
 }
 
+// Len returns the number of cached keys (computed or in flight).
+func (c *Cache) Len() int { return c.ensure().Len() }
+
+// Stats returns the backing cache's hit/miss/eviction accounting. Its
+// hit count includes requests that waited on an in-flight computation of
+// their key.
+func (c *Cache) Stats() cache.Stats { return c.ensure().Stats() }
+
 // getOrCompute returns the outcome for key, running compute at most once
-// per key. The second return reports whether the entry already existed
-// (a cache hit — possibly still in flight on another goroutine).
+// per resident entry. The second return reports whether the entry
+// already existed (a cache hit — possibly still in flight on another
+// goroutine, in which case the call blocks until that computation
+// finishes).
 func (c *Cache) getOrCompute(key Key, compute func() (Outcome, error)) (Outcome, error, bool) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[Key]*cacheEntry)
-	}
-	e, hit := c.m[key]
-	if !hit {
-		e = &cacheEntry{}
-		c.m[key] = e
-	}
-	c.mu.Unlock()
+	e, hit := c.ensure().GetOrAdd(key, func() *cacheEntry { return &cacheEntry{} })
 	e.once.Do(func() { e.outcome, e.err = compute() })
 	return e.outcome, e.err, hit
 }
@@ -231,7 +250,21 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, Stats, error)
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				r := runJob(jobs[i], cache, &compiles, &hits)
+				var r Result
+				if opts.Sem != nil {
+					select {
+					case opts.Sem <- struct{}{}:
+					case <-ctx.Done():
+						// The run is being abandoned; record the
+						// cancellation rather than block on the gate.
+						results[i] = Result{Key: jobs[i].Key, Err: ctx.Err()}
+						continue
+					}
+					r = runJob(jobs[i], cache, &compiles, &hits)
+					<-opts.Sem
+				} else {
+					r = runJob(jobs[i], cache, &compiles, &hits)
+				}
 				results[i] = r
 				if opts.OnResult != nil {
 					emitMu.Lock()

@@ -277,3 +277,103 @@ func TestKeyString(t *testing.T) {
 		t.Error("Key does not print via String")
 	}
 }
+
+// TestBoundedCache checks the LRU-backed cache honors its capacity: with
+// room for one outcome, alternating between two keys recompiles every
+// time, the eviction counter advances, and Len never exceeds the bound.
+func TestBoundedCache(t *testing.T) {
+	gen := func() (*circuit.Circuit, error) {
+		c := circuit.New("tiny", 4)
+		c.AddBlock(0, circuit.NewCZ(0, 1), circuit.NewCZ(2, 3))
+		return c, nil
+	}
+	jobA := pipeline.NewJob("tiny-a", pipeline.NonStorage, 1, gen)
+	jobB := pipeline.NewJob("tiny-b", pipeline.NonStorage, 1, gen)
+
+	cache := pipeline.NewCacheBounded(1)
+	var compiles int
+	for _, job := range []pipeline.Job{jobA, jobB, jobA, jobB} {
+		results, stats, err := pipeline.Run(context.Background(), []pipeline.Job{job}, pipeline.Options{Workers: 1, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Err != nil {
+			t.Fatal(results[0].Err)
+		}
+		compiles += stats.Compiles
+		if n := cache.Len(); n > 1 {
+			t.Fatalf("cache holds %d keys, capacity is 1", n)
+		}
+	}
+	if compiles != 4 {
+		t.Errorf("compiles = %d, want 4 (every alternation evicts)", compiles)
+	}
+	cs := cache.Stats()
+	if cs.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", cs.Evictions)
+	}
+
+	// The same sequence against an unbounded cache compiles each key once.
+	shared := pipeline.NewCache()
+	compiles = 0
+	for _, job := range []pipeline.Job{jobA, jobB, jobA, jobB} {
+		_, stats, err := pipeline.Run(context.Background(), []pipeline.Job{job}, pipeline.Options{Workers: 1, Cache: shared})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiles += stats.Compiles
+	}
+	if compiles != 2 {
+		t.Errorf("unbounded compiles = %d, want 2", compiles)
+	}
+	if cs := shared.Stats(); cs.Evictions != 0 || cs.Hits != 2 || cs.Misses != 2 {
+		t.Errorf("unbounded stats = %+v, want 2 hits / 2 misses / 0 evictions", cs)
+	}
+}
+
+// TestSharedSemaphore checks Options.Sem jointly bounds concurrent runs:
+// two runs of 4 workers each sharing a 2-slot gate never execute more
+// than 2 jobs at once.
+func TestSharedSemaphore(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	gen := func() (*circuit.Circuit, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		c := circuit.New("sem", 4)
+		c.AddBlock(0, circuit.NewCZ(0, 1), circuit.NewCZ(2, 3))
+		return c, nil
+	}
+	jobs := func(prefix string) []pipeline.Job {
+		var js []pipeline.Job
+		for i := 0; i < 6; i++ {
+			js = append(js, pipeline.NewJob(fmt.Sprintf("%s-%d", prefix, i), pipeline.NonStorage, 1, gen))
+		}
+		return js
+	}
+
+	sem := make(chan struct{}, 2)
+	errs := make(chan error, 2)
+	for _, prefix := range []string{"a", "b"} {
+		go func(prefix string) {
+			results, _, err := pipeline.Run(context.Background(), jobs(prefix), pipeline.Options{Workers: 4, Sem: sem})
+			if err == nil {
+				err = pipeline.FirstError(results)
+			}
+			errs <- err
+		}(prefix)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent jobs = %d across two runs sharing a 2-slot gate", p)
+	}
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; QASM sources for the paper's
+// largest instances are a few hundred KB.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP front end:
+//
+//	POST /v1/compile                     one evaluation point
+//	POST /v1/batch                       many points on the worker pool
+//	GET  /v1/experiments/table/{id}      tables 1, 2, 3        (?stable=1)
+//	GET  /v1/experiments/figure/{id}     figures 6a..6e, 7     (?stable=1)
+//	GET  /healthz                        liveness + uptime
+//	GET  /metrics                        cache/compile/latency counters
+//
+// All responses are JSON; errors are {"error": "..."} with a 4xx status
+// for request problems and 5xx for compile failures.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("GET /v1/experiments/{kind}/{id}", s.instrument("experiments", s.handleExperiment))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the written status for the metrics ledger.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with body limiting and per-endpoint
+// request/latency/error accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.endpoints.observe(name, time.Since(start), rec.status >= 400)
+	}
+}
+
+// writeJSON emits v with the service's canonical encoding.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	out, err := EncodeJSON(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(out)
+}
+
+// writeError maps an error to the JSON error envelope: RequestError and
+// decode failures are the client's fault (400), anything else is a
+// compile-side failure (500).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var reqErr *RequestError
+	if errors.As(err, &reqErr) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decode strictly parses the request body into v; unknown fields are
+// rejected so typos fail loudly instead of silently selecting defaults.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &RequestError{fmt.Errorf("request body: %w", err)}
+	}
+	return nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Compile(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Batch(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	stable := false
+	switch v := r.URL.Query().Get("stable"); v {
+	case "", "0", "false":
+	case "1", "true":
+		stable = true
+	default:
+		writeError(w, &RequestError{fmt.Errorf("stable = %q; want 0/1/true/false", v)})
+		return
+	}
+	doc, err := s.Experiment(r.Context(), r.PathValue("kind"), r.PathValue("id"), stable)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"powermove/internal/cache"
+)
+
+// endpointMetrics accumulates per-endpoint request counts and latency
+// under one small mutex; the service's hot path is the compile itself,
+// not this bookkeeping.
+type endpointMetrics struct {
+	mu sync.Mutex
+	m  map[string]*EndpointStats
+}
+
+// EndpointStats is the accounting of one endpoint.
+type EndpointStats struct {
+	// Requests counts calls, including failed ones.
+	Requests int64 `json:"requests"`
+	// Errors counts calls that returned a non-2xx status.
+	Errors int64 `json:"errors"`
+	// TotalMS and MaxMS describe observed handler latency; MeanMS is
+	// TotalMS/Requests, computed at snapshot time.
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// observe records one call of endpoint.
+func (em *endpointMetrics) observe(endpoint string, elapsed time.Duration, failed bool) {
+	ms := float64(elapsed) / float64(time.Millisecond)
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.m == nil {
+		em.m = make(map[string]*EndpointStats)
+	}
+	st := em.m[endpoint]
+	if st == nil {
+		st = &EndpointStats{}
+		em.m[endpoint] = st
+	}
+	st.Requests++
+	if failed {
+		st.Errors++
+	}
+	st.TotalMS += ms
+	if ms > st.MaxMS {
+		st.MaxMS = ms
+	}
+}
+
+// snapshot copies the per-endpoint ledger, filling in means.
+func (em *endpointMetrics) snapshot() map[string]EndpointStats {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	out := make(map[string]EndpointStats, len(em.m))
+	for k, st := range em.m {
+		s := *st
+		if s.Requests > 0 {
+			s.MeanMS = s.TotalMS / float64(s.Requests)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// MetricsSnapshot is the /metrics payload: cache, compile, dedup, and
+// per-endpoint latency accounting.
+type MetricsSnapshot struct {
+	// UptimeS is seconds since the server was constructed.
+	UptimeS float64 `json:"uptime_s"`
+	// Workers is the compile-concurrency bound.
+	Workers int `json:"workers"`
+	// Cache is the shared compile cache's accounting. Its hit count
+	// includes requests that attached to an in-flight compile of their
+	// key inside the engine.
+	Cache cache.Stats `json:"cache"`
+	// Compiles counts outcomes actually compiled (cache misses that ran
+	// the pipeline), across compile, batch, and experiment requests.
+	Compiles int64 `json:"compiles"`
+	// Deduped counts /v1/compile requests that joined a concurrent
+	// identical request through the singleflight group.
+	Deduped int64 `json:"deduped"`
+	// Endpoints is the per-endpoint request/latency ledger.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Metrics returns a snapshot of the server's accounting.
+func (s *Server) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		UptimeS:   time.Since(s.start).Seconds(),
+		Workers:   s.workers,
+		Cache:     s.cache.Stats(),
+		Compiles:  s.compiles.Load(),
+		Deduped:   s.flight.joins.Load(),
+		Endpoints: s.endpoints.snapshot(),
+	}
+}

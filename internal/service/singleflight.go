@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent calls by key: the first caller of a
+// key (the leader) runs fn, later callers with the same key (joiners)
+// block until the leader finishes and share its result. Unlike a cache,
+// the group holds nothing once a call completes — completed results live
+// in the compile cache; the group only collapses the in-flight window, so
+// a burst of identical requests costs one compile and one worker slot
+// instead of N.
+type flightGroup[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+	// joins counts callers that attached to an in-flight leader,
+	// recorded at join time (the /metrics "deduped" counter).
+	joins atomic.Int64
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// do runs fn for key at most once concurrently. The boolean reports
+// whether this caller joined an in-flight leader rather than running fn
+// itself. A joiner whose ctx expires returns ctx.Err without waiting; the
+// leader always runs to completion so its result reaches the cache.
+func (g *flightGroup[V]) do(ctx context.Context, key string, fn func() (V, error)) (V, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.joins.Add(1)
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err(), true
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

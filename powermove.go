@@ -26,6 +26,8 @@ package powermove
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
@@ -35,6 +37,7 @@ import (
 	"powermove/internal/layout"
 	"powermove/internal/pipeline"
 	"powermove/internal/qasm"
+	"powermove/internal/service"
 	"powermove/internal/sim"
 	"powermove/internal/trace"
 	"powermove/internal/viz"
@@ -190,6 +193,48 @@ func CompileBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) ([]Ba
 // BatchFirstError returns the first per-job failure of a batch in job
 // order, or nil.
 func BatchFirstError(results []BatchResult) error { return pipeline.FirstError(results) }
+
+// Serving-layer types re-exported from internal/service, the
+// compile-as-a-service front end of cmd/powermoved.
+type (
+	// Server is the compile service: request validation, a shared
+	// size-bounded LRU compile cache, singleflight dedup of concurrent
+	// identical requests, and bounded compile concurrency over the
+	// batch engine. Server.Handler is its HTTP front end.
+	Server = service.Server
+	// ServerConfig sizes a Server: worker bound and cache capacity.
+	ServerConfig = service.Config
+	// ServiceCompileRequest asks the service for one evaluation point
+	// (inline QASM or a named workload, scheme, AOD count).
+	ServiceCompileRequest = service.CompileRequest
+	// ServiceCompileResponse is one compiled evaluation point.
+	ServiceCompileResponse = service.CompileResponse
+	// ServiceWorkloadSpec names a generated benchmark instance in a
+	// ServiceCompileRequest.
+	ServiceWorkloadSpec = service.WorkloadSpec
+)
+
+// NewServer returns a ready compile service; serve it with
+// http.ListenAndServe(addr, s.Handler()) or call its Compile/Batch
+// methods directly.
+func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
+
+// CompileJSON executes one service compile request one-shot: req is a
+// JSON ServiceCompileRequest, the result is the canonical JSON encoding
+// of its ServiceCompileResponse — byte-identical to what a powermoved
+// daemon returns for the same request on a cold cache. cmd/powermove
+// -json is a thin wrapper; CI's smoke test compares the two.
+func CompileJSON(ctx context.Context, req []byte) ([]byte, error) {
+	var creq ServiceCompileRequest
+	if err := json.Unmarshal(req, &creq); err != nil {
+		return nil, fmt.Errorf("compile request: %w", err)
+	}
+	resp, err := NewServer(ServerConfig{Workers: 1}).Compile(ctx, &creq)
+	if err != nil {
+		return nil, err
+	}
+	return service.EncodeJSON(resp)
+}
 
 // ParseQASM lowers an OpenQASM 2.0 source string (see internal/qasm for
 // the supported subset) to a Circuit named name.

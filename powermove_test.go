@@ -1,6 +1,8 @@
 package powermove
 
 import (
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -77,6 +79,50 @@ func TestQASMFacade(t *testing.T) {
 	}
 	if _, err := ParseQASM("bad", "not qasm"); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// TestCompileJSONFacade checks the one-shot service path: a stable
+// request produces a deterministic document that matches a direct
+// Server.Compile of the same request — the contract behind the CLI's
+// -json mode and CI's daemon-vs-CLI smoke test.
+func TestCompileJSONFacade(t *testing.T) {
+	req := []byte(`{"workload":{"family":"QFT","qubits":6},"scheme":"with-storage","stable":true}`)
+	a, err := CompileJSON(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileJSON(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("stable documents diverged:\n%s\nvs\n%s", a, b)
+	}
+
+	var resp ServiceCompileResponse
+	if err := json.Unmarshal(a, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bench != "QFT-6" || resp.Scheme != "with-storage" || resp.Cached {
+		t.Errorf("unexpected document %+v", resp)
+	}
+
+	srv := NewServer(ServerConfig{Workers: 1})
+	direct, err := srv.Compile(context.Background(), &ServiceCompileRequest{
+		Workload: &ServiceWorkloadSpec{Family: "QFT", Qubits: 6},
+		Scheme:   "with-storage",
+		Stable:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Fidelity != resp.Fidelity || direct.TexeUS != resp.TexeUS || direct.Stages != resp.Stages {
+		t.Errorf("CompileJSON and Server.Compile diverged: %+v vs %+v", resp, direct)
+	}
+
+	if _, err := CompileJSON(context.Background(), []byte(`{"scheme":"turbo"}`)); err == nil {
+		t.Error("bad request accepted")
 	}
 }
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Service smoke test: start powermoved, wait for /healthz, compile one
+# circuit over HTTP, and require the response to be byte-identical to
+# the powermove CLI's -json output for the same request. Then repeat the
+# request and verify via /metrics that it was served from the cache.
+#
+# Run from the repository root; CI calls it from the smoke job. Scratch
+# files go to $RUNNER_TEMP when set (GitHub runners), mktemp otherwise.
+set -euo pipefail
+
+TMP="${RUNNER_TEMP:-$(mktemp -d)}"
+ADDR=127.0.0.1:8077
+
+go build -o "$TMP/powermoved" ./cmd/powermoved
+go build -o "$TMP/powermove" ./cmd/powermove
+
+"$TMP/powermoved" -addr "$ADDR" &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+up=0
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.2
+done
+if [ "$up" != 1 ]; then
+  echo "service_smoke: /healthz never came up" >&2
+  exit 1
+fi
+
+REQ='{"workload":{"family":"QFT","qubits":18},"scheme":"with-storage","aods":1,"stable":true}'
+
+curl -fsS -X POST "http://$ADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d "$REQ" > "$TMP/svc.json"
+"$TMP/powermove" -bench QFT -n 18 -json -stable > "$TMP/cli.json"
+cmp "$TMP/svc.json" "$TMP/cli.json"
+echo "service_smoke: daemon and CLI documents are byte-identical"
+
+curl -fsS -X POST "http://$ADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d "$REQ" > "$TMP/svc2.json"
+grep -q '"cached": true' "$TMP/svc2.json"
+
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics.json"
+grep -q '"hits": 1' "$TMP/metrics.json"
+grep -q '"misses": 1' "$TMP/metrics.json"
+grep -q '"compiles": 1' "$TMP/metrics.json"
+echo "service_smoke: repeat request was a cache hit (1 hit / 1 miss / 1 compile)"
+
+echo "service_smoke: PASS"
