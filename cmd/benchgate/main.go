@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -293,10 +294,24 @@ func runCompare(baselinePath, currentPath string, thresholdPct, minNs float64, c
 
 	limit := 1 + thresholdPct/100
 	var regressions, skipped, fresh int
+	// Benchstat-style geomeans of normalized new/old ratios, kept
+	// separately for the gated benches (above the noise floor — the
+	// trustworthy headline) and the full suite (informational; sub-floor
+	// micro-benches jitter far more than they drift).
+	var gatedLogSum, allLogSum float64
+	var gatedCount, allCount int
 	for _, c := range cur.Benchmarks {
 		b, ok := baseByName[c.Name]
 		delete(baseByName, c.Name)
 		norm := c.NsPerOp / scale
+		if ok && c.Name != calibrate && b.NsPerOp > 0 && norm > 0 {
+			allLogSum += math.Log(norm / b.NsPerOp)
+			allCount++
+			if b.NsPerOp >= minNs {
+				gatedLogSum += math.Log(norm / b.NsPerOp)
+				gatedCount++
+			}
+		}
 		switch {
 		case !ok:
 			fresh++
@@ -317,6 +332,18 @@ func runCompare(baselinePath, currentPath string, thresholdPct, minNs float64, c
 	}
 	fmt.Printf("\nbenchgate: %d compared, %d regressed, %d below %.0fns floor, %d new, %d gone\n",
 		len(cur.Benchmarks)-fresh, regressions, skipped, minNs, fresh, len(baseByName))
+	if gatedCount > 0 {
+		// The geomean of per-bench ratios is benchstat's summary
+		// statistic: < 1.00x means the suite got faster overall. The
+		// headline covers only gated benches; sub-floor ones are noise
+		// by the gate's own standard.
+		fmt.Printf("benchgate: geomean %.3fx over %d gated benches (new/old, normalized; <1 is faster)\n",
+			math.Exp(gatedLogSum/float64(gatedCount)), gatedCount)
+	}
+	if allCount > gatedCount {
+		fmt.Printf("benchgate: geomean %.3fx over all %d benches (includes sub-floor noise)\n",
+			math.Exp(allLogSum/float64(allCount)), allCount)
+	}
 	if regressions > 0 {
 		fmt.Printf("benchgate: FAIL — ns/op regression beyond +%.0f%% against %s\n", thresholdPct, baselinePath)
 		return false, nil

@@ -18,6 +18,8 @@
 //	experiments -stable             # omit wall-clock columns: output is
 //	                                # byte-identical across runs and -jobs
 //	experiments -progress=false     # silence per-job streaming on stderr
+//	experiments -cpuprofile cpu.pb.gz   # write a pprof CPU profile
+//	experiments -memprofile mem.pb.gz   # write a pprof heap profile at exit
 //
 // Results are independent of -jobs: every evaluation point is a
 // deterministic function of its (benchmark, scheme, AOD-count) key, and
@@ -36,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"powermove/internal/experiments"
@@ -45,21 +49,41 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "", "regenerate a table: 1, 2, or 3")
-		figure   = flag.String("figure", "", "regenerate a figure: 6a, 6b, 6c, 6d, 6e, or 7")
-		summary  = flag.Bool("summary", false, "with -table 3: also print the Sec. 7.2 aggregate claims")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
-		jobs     = flag.Int("jobs", 0, "worker goroutines for the batch engine (<1 selects GOMAXPROCS)")
-		stable   = flag.Bool("stable", false, "omit wall-clock compile times so output is byte-identical across runs")
-		progress = flag.Bool("progress", true, "stream per-job completions to stderr")
+		table      = flag.String("table", "", "regenerate a table: 1, 2, or 3")
+		figure     = flag.String("figure", "", "regenerate a figure: 6a, 6b, 6c, 6d, 6e, or 7")
+		summary    = flag.Bool("summary", false, "with -table 3: also print the Sec. 7.2 aggregate claims")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut    = flag.Bool("json", false, "emit one JSON document instead of text")
+		jobs       = flag.Int("jobs", 0, "worker goroutines for the batch engine (<1 selects GOMAXPROCS)")
+		stable     = flag.Bool("stable", false, "omit wall-clock compile times so output is byte-identical across runs")
+		progress   = flag.Bool("progress", true, "stream per-job completions to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fail(err)
+			runtime.GC() // settle live-heap accounting before the snapshot
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
 	}
 	switch *table {
 	case "", "1", "2", "3":

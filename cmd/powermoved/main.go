@@ -4,6 +4,7 @@
 //
 //	powermoved                        # serve on :8077
 //	powermoved -addr :9000 -workers 4 -cache-size 512
+//	powermoved -pprof                 # also serve /debug/pprof/*
 //
 // Endpoints:
 //
@@ -12,7 +13,8 @@
 //	GET  /v1/experiments/table/{id}   tables 1, 2, 3          (?stable=1)
 //	GET  /v1/experiments/figure/{id}  figures 6a..6e, 7       (?stable=1)
 //	GET  /healthz                     liveness + uptime
-//	GET  /metrics                     cache/compile/latency counters
+//	GET  /metrics                     cache/compile/latency/alloc counters
+//	GET  /debug/pprof/*               live profiling (opt-in via -pprof)
 //
 // For the same request, responses are byte-identical to
 // `powermove -json` (both run powermove.CompileJSON's path); CI's smoke
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,16 +40,30 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8077", "listen address")
-		workers   = flag.Int("workers", 0, "max concurrent compiles (<1 selects GOMAXPROCS)")
-		cacheSize = flag.Int("cache-size", 4096, "compile-cache capacity in outcomes (0 = unbounded)")
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent compiles (<1 selects GOMAXPROCS)")
+		cacheSize  = flag.Int("cache-size", 4096, "compile-cache capacity in outcomes (0 = unbounded)")
+		pprofServe = flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles) on the listen address")
 	)
 	flag.Parse()
 
 	srv := powermove.NewServer(powermove.ServerConfig{Workers: *workers, CacheSize: *cacheSize})
+	handler := srv.Handler()
+	if *pprofServe {
+		// Opt-in only: profiles reveal internals and cost CPU while
+		// sampling, so the endpoints never ship enabled by default.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

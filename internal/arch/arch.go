@@ -144,6 +144,31 @@ func (a *Arch) SiteAt(idx int) Site {
 	return Site{Zone: Storage, Row: idx / a.StorageCols, Col: idx % a.StorageCols}
 }
 
+// ZoneIndexRange returns the half-open SiteIndex range [lo, hi) covered by
+// zone z. Compute sites occupy [0, ComputeSites()), storage sites the rest;
+// within a zone, ascending index order is exactly the row-major order of
+// Sites. The router's nearest-empty-site scan iterates these ranges
+// directly instead of materializing Site values.
+func (a *Arch) ZoneIndexRange(z Zone) (lo, hi int) {
+	switch z {
+	case Compute:
+		return 0, a.ComputeSites()
+	case Storage:
+		return a.ComputeSites(), a.TotalSites()
+	default:
+		panic(fmt.Sprintf("arch: unknown zone %v", z))
+	}
+}
+
+// PosAt returns Pos(SiteAt(idx)) straight from the position cache, without
+// materializing the Site. It is the hot-path variant of Pos.
+func (a *Arch) PosAt(idx int) geom.Point {
+	if idx < 0 || idx >= len(a.positions) {
+		panic(fmt.Sprintf("arch: site index %d out of range [0, %d)", idx, len(a.positions)))
+	}
+	return a.positions[idx]
+}
+
 // ComputeSites returns the number of sites in the computation zone.
 func (a *Arch) ComputeSites() int { return a.ComputeRows * a.ComputeCols }
 

@@ -1,0 +1,140 @@
+// Package bitset provides a dense, reusable set of small non-negative
+// integers for the compiler's hot paths. The router, stage scheduler, and
+// graph algorithms previously tracked qubit and occupancy sets in
+// map[int]bool; a flat word array makes membership a shift-and-mask,
+// supports word-at-a-time difference counts for the stage-ordering
+// objective, and — unlike a map — can be cleared and reused without
+// re-allocating, which matters when a set is rebuilt once per Rydberg
+// stage.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-universe bitset over [0, Len()). The zero value is an
+// empty set over an empty universe; use New or Reset to size it.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	s := &Set{}
+	s.Reset(n)
+	return s
+}
+
+// Reset clears the set and resizes its universe to [0, n), reusing the
+// existing allocation when it is large enough.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative universe size %d", n))
+	}
+	words := (n + wordBits - 1) / wordBits
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d outside universe [0, %d)", i, s.n))
+	}
+}
+
+// Add inserts i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// NextSet returns the smallest member >= i, or -1 if there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// NextClear returns the smallest non-member >= i, or -1 if every index of
+// [i, Len()) is a member.
+func (s *Set) NextClear(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < s.n {
+		wi := i / wordBits
+		w := ^s.words[wi] >> uint(i%wordBits)
+		if w != 0 {
+			j := i + bits.TrailingZeros64(w)
+			if j < s.n {
+				return j
+			}
+			return -1
+		}
+		i = (wi + 1) * wordBits
+	}
+	return -1
+}
+
+// AndNotCount returns |s \ o|: the number of members of s that are not
+// members of o. The two sets may have different universe sizes; indexes
+// beyond o's universe count as absent from o.
+func (s *Set) AndNotCount(o *Set) int {
+	total := 0
+	for i, w := range s.words {
+		if i < len(o.words) {
+			w &^= o.words[i]
+		}
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

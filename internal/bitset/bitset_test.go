@@ -1,0 +1,146 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialAgainstMap drives a Set and a map[int]bool with the same
+// random operation stream and asserts every query agrees — the reference
+// semantics the hot paths swapped away from.
+func TestDifferentialAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			default:
+				if s.Contains(i) != ref[i] {
+					t.Fatalf("trial %d: Contains(%d) = %v, ref %v", trial, i, s.Contains(i), ref[i])
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			t.Fatalf("trial %d: Count = %d, ref %d", trial, s.Count(), len(ref))
+		}
+		for i := 0; i < n; i++ {
+			if s.Contains(i) != ref[i] {
+				t.Fatalf("trial %d: final Contains(%d) mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestNextSetNextClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		s := New(n)
+		ref := make([]bool, n)
+		for k := 0; k < n/2; k++ {
+			i := rng.Intn(n)
+			s.Add(i)
+			ref[i] = true
+		}
+		for start := 0; start <= n; start++ {
+			wantSet, wantClear := -1, -1
+			for i := start; i < n; i++ {
+				if ref[i] && wantSet < 0 {
+					wantSet = i
+				}
+				if !ref[i] && wantClear < 0 {
+					wantClear = i
+				}
+			}
+			if got := s.NextSet(start); got != wantSet {
+				t.Fatalf("trial %d: NextSet(%d) = %d, want %d", trial, start, got, wantSet)
+			}
+			if got := s.NextClear(start); got != wantClear {
+				t.Fatalf("trial %d: NextClear(%d) = %d, want %d", trial, start, got, wantClear)
+			}
+		}
+	}
+}
+
+func TestAndNotCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := 1+rng.Intn(200), 1+rng.Intn(200)
+		a, b := New(na), New(nb)
+		ma, mb := make(map[int]bool), make(map[int]bool)
+		for k := 0; k < na/2; k++ {
+			i := rng.Intn(na)
+			a.Add(i)
+			ma[i] = true
+		}
+		for k := 0; k < nb/2; k++ {
+			i := rng.Intn(nb)
+			b.Add(i)
+			mb[i] = true
+		}
+		want := 0
+		for i := range ma {
+			if !mb[i] {
+				want++
+			}
+		}
+		if got := a.AndNotCount(b); got != want {
+			t.Fatalf("trial %d: AndNotCount = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestResetReuses(t *testing.T) {
+	s := New(128)
+	s.Add(0)
+	s.Add(127)
+	s.Reset(64)
+	if s.Len() != 64 || s.Count() != 0 {
+		t.Fatalf("Reset left Len=%d Count=%d", s.Len(), s.Count())
+	}
+	s.Add(63)
+	if !s.Contains(63) || s.Contains(0) {
+		t.Fatal("Reset did not clear")
+	}
+	// Growing again must not resurrect stale bits beyond the old universe.
+	s.Reset(128)
+	if s.Count() != 0 {
+		t.Fatalf("grow after shrink resurrected %d bits", s.Count())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Contains(10) },
+		func() { s.Remove(-1) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyUniverse(t *testing.T) {
+	s := New(0)
+	if s.NextSet(0) != -1 || s.NextClear(0) != -1 || s.Count() != 0 {
+		t.Error("empty-universe queries wrong")
+	}
+}

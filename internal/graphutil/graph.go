@@ -9,14 +9,19 @@ package graphutil
 import (
 	"fmt"
 	"sort"
+
+	"powermove/internal/bitset"
 )
 
 // Graph is an undirected graph on vertices 0..N-1 with an adjacency-list
-// representation. Parallel edges are collapsed; self-loops are rejected.
+// representation plus per-vertex adjacency bitsets, so HasEdge is a
+// shift-and-mask instead of a map probe. Rows are allocated lazily on a
+// vertex's first edge, keeping isolated vertices free. Parallel edges are
+// collapsed; self-loops are rejected.
 type Graph struct {
 	n   int
 	adj [][]int
-	set []map[int]bool
+	set []bitset.Set
 }
 
 // NewGraph returns an empty graph on n vertices.
@@ -28,12 +33,21 @@ func NewGraph(n int) *Graph {
 	return &Graph{
 		n:   n,
 		adj: make([][]int, n),
-		set: make([]map[int]bool, n),
+		set: make([]bitset.Set, n),
 	}
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
+
+// row returns vertex v's adjacency bitset, sizing it on first use.
+func (g *Graph) row(v int) *bitset.Set {
+	s := &g.set[v]
+	if s.Len() == 0 {
+		s.Reset(g.n)
+	}
+	return s
+}
 
 // AddEdge inserts the undirected edge {u, v}, ignoring duplicates.
 // It panics on self-loops or out-of-range vertices.
@@ -44,17 +58,12 @@ func (g *Graph) AddEdge(u, v int) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graphutil: edge (%d, %d) out of range for %d vertices", u, v, g.n))
 	}
-	if g.set[u] == nil {
-		g.set[u] = make(map[int]bool)
-	}
-	if g.set[u][v] {
+	ru := g.row(u)
+	if ru.Contains(v) {
 		return
 	}
-	if g.set[v] == nil {
-		g.set[v] = make(map[int]bool)
-	}
-	g.set[u][v] = true
-	g.set[v][u] = true
+	ru.Add(v)
+	g.row(v).Add(u)
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 }
@@ -64,7 +73,10 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return false
 	}
-	return g.set[u][v]
+	if g.set[u].Len() == 0 {
+		return false
+	}
+	return g.set[u].Contains(v)
 }
 
 // Adjacent returns the neighbors of v. The returned slice is owned by the

@@ -58,6 +58,16 @@ func (l *Layout) SiteOf(q int) arch.Site {
 	return l.arch.SiteAt(l.pos[q])
 }
 
+// IndexOf returns the arch.SiteIndex of qubit q's site — the layout's
+// native representation, so the router's hot path compares and stores
+// plain ints instead of materializing Sites. It panics if q is unplaced.
+func (l *Layout) IndexOf(q int) int {
+	if !l.Placed(q) {
+		panic(fmt.Sprintf("layout: qubit %d is unplaced", q))
+	}
+	return l.pos[q]
+}
+
 // PosOf returns the physical position of qubit q, in micrometres.
 func (l *Layout) PosOf(q int) geom.Point { return l.arch.Pos(l.SiteOf(q)) }
 
@@ -134,6 +144,31 @@ func (l *Layout) BulkMove(targets map[int]arch.Site) {
 	sort.Ints(order)
 	for _, q := range order {
 		l.attach(q, targets[q])
+	}
+}
+
+// BulkMoveSorted is the allocation-free variant of BulkMove for callers
+// that already hold their movers in ascending qubit order (the router's
+// finish pass): qubits[i] relocates to sites[i]. All movers are detached
+// before any is re-attached, exactly like BulkMove, and the ascending
+// order reproduces BulkMove's deterministic attach order. It panics if
+// the slices disagree in length, a qubit is unplaced, or the qubit order
+// is not strictly ascending.
+func (l *Layout) BulkMoveSorted(qubits []int, sites []arch.Site) {
+	if len(qubits) != len(sites) {
+		panic(fmt.Sprintf("layout: %d qubits for %d sites", len(qubits), len(sites)))
+	}
+	for i, q := range qubits {
+		if i > 0 && qubits[i-1] >= q {
+			panic(fmt.Sprintf("layout: BulkMoveSorted qubits not ascending at %d", i))
+		}
+		if !l.Placed(q) {
+			panic(fmt.Sprintf("layout: cannot move unplaced qubit %d", q))
+		}
+		l.detach(q)
+	}
+	for i, q := range qubits {
+		l.attach(q, sites[i])
 	}
 }
 

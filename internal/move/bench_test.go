@@ -1,0 +1,112 @@
+package move
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"powermove/internal/arch"
+)
+
+// benchMoves builds n random 1Q movements across both zones of an
+// architecture sized for n qubits: the adversarial, group-heavy case.
+func benchMoves(n int) []Move {
+	a := arch.New(arch.Config{Qubits: n})
+	rng := rand.New(rand.NewSource(7))
+	return randomMoves(a, n, rng)
+}
+
+// benchShiftMoves builds n movements drawn from a handful of displacement
+// vectors — the shape the router actually hands Group on layout
+// transitions, where whole rows shift in tandem. Groups are few and
+// large, so the per-group compatibility test dominates.
+func benchShiftMoves(n int) []Move {
+	a := arch.New(arch.Config{Qubits: n})
+	rng := rand.New(rand.NewSource(8))
+	sites := a.Sites(arch.Compute)
+	shifts := [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}, {1, 1}, {0, 2}}
+	moves := make([]Move, 0, n)
+	for q := 0; q < n; q++ {
+		s := sites[rng.Intn(len(sites))]
+		d := shifts[rng.Intn(len(shifts))]
+		to := arch.Site{Zone: arch.Compute, Row: s.Row + d[0], Col: s.Col + d[1]}
+		if !a.InBounds(to) {
+			to = s
+		}
+		moves = append(moves, New(a, q, s, to))
+	}
+	return moves
+}
+
+// BenchmarkGroup measures the default displacement-bucketed grouping at
+// several movement-set sizes and on the structured shift pattern. The
+// interval-indexed compatibility test keeps it near-linear; the ISSUE-3
+// acceptance gate is >=2x over the O(n^2) pairwise scan at n=1000
+// (measured against BenchmarkGroupNaive).
+func BenchmarkGroup(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		moves := benchMoves(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Group(moves)
+			}
+		})
+	}
+	moves := benchShiftMoves(1000)
+	b.Run("shift-n=1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Group(moves)
+		}
+	})
+}
+
+// BenchmarkGroupNaive runs the pre-index pairwise-scan reference
+// (differential_test.go) on the same inputs as BenchmarkGroup, keeping the
+// interval index's speedup visible in every bench run — the ratio of the
+// two is the tentpole metric of ISSUE 3.
+func BenchmarkGroupNaive(b *testing.B) {
+	moves := benchMoves(1000)
+	b.Run("n=1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			naiveGroup(moves)
+		}
+	})
+	shift := benchShiftMoves(1000)
+	b.Run("shift-n=1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			naiveGroup(shift)
+		}
+	})
+}
+
+// BenchmarkGroupByDistance measures the ascending-distance first-fit
+// ablation baseline on the same movement sets.
+func BenchmarkGroupByDistance(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		moves := benchMoves(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GroupByDistance(moves)
+			}
+		})
+	}
+}
+
+// BenchmarkGroupInOrder measures the arrival-order first-fit used by the
+// Enola reimplementation.
+func BenchmarkGroupInOrder(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		moves := benchMoves(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GroupInOrder(moves)
+			}
+		})
+	}
+}

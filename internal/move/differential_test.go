@@ -1,0 +1,206 @@
+package move
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"powermove/internal/arch"
+)
+
+// This file pins the interval-indexed grouping (groupIndex) to the naive
+// O(n²) pairwise-scan implementations it replaced. The references below
+// are verbatim copies of the pre-index algorithms; the property tests
+// assert the optimized paths produce *identical* output — same groups,
+// same order, same member order — on seeded random movement sets. The
+// compiler's reproducibility gate (cmd/experiments -stable) rests on this
+// equivalence.
+
+func naiveFitsGroup(g CollMove, m Move) bool {
+	for _, other := range g.Moves {
+		if Conflicts(other, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func naiveCompatible(g, b CollMove) bool {
+	for _, m := range b.Moves {
+		if !naiveFitsGroup(g, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func naiveGroup(moves []Move) []CollMove {
+	type displacement struct{ dx, dy float64 }
+	index := make(map[displacement]int)
+	var buckets []CollMove
+	for _, m := range moves {
+		if m.FromSite == m.ToSite {
+			continue
+		}
+		d := displacement{dx: m.To.X - m.From.X, dy: m.To.Y - m.From.Y}
+		i, ok := index[d]
+		if !ok {
+			i = len(buckets)
+			index[d] = i
+			buckets = append(buckets, CollMove{})
+		}
+		buckets[i].Moves = append(buckets[i].Moves, m)
+	}
+	sort.SliceStable(buckets, func(i, j int) bool {
+		return buckets[i].MaxDistance() < buckets[j].MaxDistance()
+	})
+
+	var groups []CollMove
+next:
+	for _, b := range buckets {
+		for gi := range groups {
+			if naiveCompatible(groups[gi], b) {
+				groups[gi].Moves = append(groups[gi].Moves, b.Moves...)
+				continue next
+			}
+		}
+		groups = append(groups, b)
+	}
+	return groups
+}
+
+func naiveGroupByDistance(moves []Move) []CollMove {
+	sorted := make([]Move, 0, len(moves))
+	for _, m := range moves {
+		if m.FromSite != m.ToSite {
+			sorted = append(sorted, m)
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Distance() < sorted[j].Distance()
+	})
+
+	var groups []CollMove
+next:
+	for _, m := range sorted {
+		for gi := range groups {
+			if naiveFitsGroup(groups[gi], m) {
+				groups[gi].Moves = append(groups[gi].Moves, m)
+				continue next
+			}
+		}
+		groups = append(groups, CollMove{Moves: []Move{m}})
+	}
+	return groups
+}
+
+func naiveGroupInOrder(moves []Move) []CollMove {
+	var groups []CollMove
+next:
+	for _, m := range moves {
+		if m.FromSite == m.ToSite {
+			continue
+		}
+		for gi := range groups {
+			if naiveFitsGroup(groups[gi], m) {
+				groups[gi].Moves = append(groups[gi].Moves, m)
+				continue next
+			}
+		}
+		groups = append(groups, CollMove{Moves: []Move{m}})
+	}
+	return groups
+}
+
+// equalGroups demands full structural equality: group count, group order,
+// and member order within every group.
+func equalGroups(t *testing.T, name string, trial int, got, want []CollMove) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s trial %d: %d groups, reference has %d", name, trial, len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Moves, want[i].Moves) {
+			t.Fatalf("%s trial %d: group %d differs\n got: %v\nwant: %v",
+				name, trial, i, got[i].Moves, want[i].Moves)
+		}
+	}
+}
+
+// TestGroupingsMatchNaiveReference cross-checks all three grouping
+// strategies against their pairwise-scan references on random movement
+// sets of varying size and structure (fully random, shift-heavy, and
+// duplicate-coordinate-heavy).
+func TestGroupingsMatchNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	strategies := []struct {
+		name      string
+		fast, ref func([]Move) []CollMove
+	}{
+		{"Group", Group, naiveGroup},
+		{"GroupByDistance", GroupByDistance, naiveGroupByDistance},
+		{"GroupInOrder", GroupInOrder, naiveGroupInOrder},
+	}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(150)
+		a := arch.New(arch.Config{Qubits: 16 + rng.Intn(100)})
+		var moves []Move
+		switch trial % 3 {
+		case 0: // fully random endpoints
+			moves = randomMoves(a, n, rng)
+		case 1: // shift-heavy: a few displacement vectors dominate
+			sites := a.Sites(arch.Compute)
+			for q := 0; q < n; q++ {
+				s := sites[rng.Intn(len(sites))]
+				d := arch.Site{
+					Zone: arch.Compute,
+					Row:  s.Row + rng.Intn(3) - 1,
+					Col:  s.Col + rng.Intn(3) - 1,
+				}
+				if !a.InBounds(d) {
+					d = s
+				}
+				moves = append(moves, New(a, q, s, d))
+			}
+		default: // repeated start coordinates across zones
+			cs := a.Sites(arch.Compute)
+			ss := a.Sites(arch.Storage)
+			for q := 0; q < n; q++ {
+				from := cs[rng.Intn(len(cs))%4]
+				to := ss[rng.Intn(len(ss))]
+				moves = append(moves, New(a, q, from, to))
+			}
+		}
+		for _, s := range strategies {
+			equalGroups(t, s.name, trial, s.fast(moves), s.ref(moves))
+		}
+	}
+}
+
+// TestGroupIndexMatchesFitsGroup drives the per-group index directly: a
+// random conflict-free group is built move by move, and at every step the
+// index's verdict on a fresh candidate must equal the pairwise scan's.
+func TestGroupIndexMatchesFitsGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := arch.New(arch.Config{Qubits: 49})
+	for trial := 0; trial < 200; trial++ {
+		g := CollMove{}
+		ix := &groupIndex{}
+		for step := 0; step < 80; step++ {
+			m := randomMoves(a, 1, rng)[0]
+			if m.FromSite == m.ToSite {
+				continue
+			}
+			want := naiveFitsGroup(g, m)
+			if got := ix.fits(&m); got != want {
+				t.Fatalf("trial %d step %d: index fits=%v, pairwise=%v (group %v, move %v)",
+					trial, step, got, want, g.Moves, m)
+			}
+			if want {
+				g.Moves = append(g.Moves, m)
+				ix.add(&m)
+			}
+		}
+	}
+}

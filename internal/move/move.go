@@ -5,7 +5,7 @@ package move
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"powermove/internal/arch"
 	"powermove/internal/geom"
@@ -122,16 +122,188 @@ func (c CollMove) NetStorageFlow() int {
 	return flow
 }
 
-// Valid reports whether every pair of member moves is conflict-free.
+// Valid reports whether every pair of member moves is conflict-free. Small
+// groups use the literal pairwise scan; larger ones build the same
+// interval index the grouping uses and check each member against its
+// predecessors, which is equivalent — a conflicting pair exists exactly
+// when some member conflicts with an earlier one — and turns the
+// executor's per-batch revalidation from O(k²) into O(k log k).
 func (c CollMove) Valid() bool {
-	for i := range c.Moves {
-		for j := i + 1; j < len(c.Moves); j++ {
-			if Conflicts(c.Moves[i], c.Moves[j]) {
-				return false
+	if len(c.Moves) <= 24 {
+		for i := range c.Moves {
+			for j := i + 1; j < len(c.Moves); j++ {
+				if Conflicts(c.Moves[i], c.Moves[j]) {
+					return false
+				}
 			}
+		}
+		return true
+	}
+	var ix groupIndex
+	for i := range c.Moves {
+		m := &c.Moves[i]
+		if !ix.fits(m) {
+			return false
+		}
+		ix.add(m)
+	}
+	return true
+}
+
+// axisIndex is one axis of a group's conflict index. The members of a
+// conflict-free group satisfy, per axis, sign(f1-f2) == sign(t1-t2) for
+// every pair — i.e. the member endpoints form a weakly monotone relation:
+// equal start coordinates share one end coordinate, and distinct start
+// coordinates map to strictly increasing end coordinates. The index
+// therefore stores the *distinct* start coordinates in sorted order with
+// their (unique) end coordinates, and a candidate move is conflict-free
+// against every member iff it respects its two neighbors in that order:
+//
+//   - a member with the same start coordinate must have the same end;
+//   - the largest smaller start must map to a smaller end;
+//   - the smallest larger start must map to a larger end.
+//
+// That turns the O(|group|) pairwise membership scan into two binary
+// searches over at most (#distinct site coordinates) entries, which is
+// what makes grouping sub-quadratic. Site coordinates are exact multiples
+// of the pitch, so float equality is well defined here.
+type axisIndex struct {
+	from []float64 // distinct start coordinates, ascending
+	to   []float64 // to[i] is the end coordinate paired with from[i]; strictly ascending
+}
+
+// search returns the insertion position of f in ix.from.
+func (ix *axisIndex) search(f float64) int {
+	lo, hi := 0, len(ix.from)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.from[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// fits reports whether a move with axis endpoints (f, t) preserves
+// coordinate order against every indexed member.
+func (ix *axisIndex) fits(f, t float64) bool {
+	i := ix.search(f)
+	if i < len(ix.from) && ix.from[i] == f {
+		return ix.to[i] == t
+	}
+	if i > 0 && ix.to[i-1] >= t {
+		return false
+	}
+	if i < len(ix.from) && ix.to[i] <= t {
+		return false
+	}
+	return true
+}
+
+// add records axis endpoints (f, t); the caller must have checked fits.
+func (ix *axisIndex) add(f, t float64) {
+	if ix.from == nil {
+		// One distinct entry per site coordinate at most; starting at a
+		// word of capacity avoids the first growslice ladder rungs.
+		ix.from = make([]float64, 0, 16)
+		ix.to = make([]float64, 0, 16)
+	}
+	i := ix.search(f)
+	if i < len(ix.from) && ix.from[i] == f {
+		return
+	}
+	ix.from = append(ix.from, 0)
+	ix.to = append(ix.to, 0)
+	copy(ix.from[i+1:], ix.from[i:])
+	copy(ix.to[i+1:], ix.to[i:])
+	ix.from[i], ix.to[i] = f, t
+}
+
+// groupIndex accelerates the "does this move conflict with any member of
+// this group" test.
+type groupIndex struct {
+	x, y axisIndex
+}
+
+// fits reports whether m is conflict-free against every indexed move —
+// exactly the pairwise scan's verdict over the same member set.
+func (g *groupIndex) fits(m *Move) bool {
+	return g.x.fits(m.From.X, m.To.X) && g.y.fits(m.From.Y, m.To.Y)
+}
+
+// add indexes m; the caller must have checked fits.
+func (g *groupIndex) add(m *Move) {
+	g.x.add(m.From.X, m.To.X)
+	g.y.add(m.From.Y, m.To.Y)
+}
+
+// addAll indexes every move of a conflict-free bucket.
+func (g *groupIndex) addAll(moves []Move) {
+	for i := range moves {
+		g.add(&moves[i])
+	}
+}
+
+// fitsAll reports whether every move of b is conflict-free against every
+// indexed move, without modifying the index.
+func (g *groupIndex) fitsAll(b []Move) bool {
+	for i := range b {
+		if !g.fits(&b[i]) {
+			return false
 		}
 	}
 	return true
+}
+
+// witness is the first-fit scan's O(1) pre-filter: two representative
+// members per group — the founding member and the most recently added one
+// — stored as one flat struct (a single cache line per group) so
+// rejecting a group is a handful of float comparisons with no pointer
+// chasing. A candidate that conflicts with either witness conflicts with
+// the group — the verdict is identical whichever member witnesses it — so
+// only groups whose witnesses both pass pay the index's binary searches.
+// Rejections vastly outnumber acceptances in first-fit scans, which makes
+// this the scan's fast path; the second, drifting witness roughly halves
+// the filter's false-pass rate on mixed movement sets. The per-axis test
+// is phrased as comparison pairs — order changes iff (f1<f2) != (t1<t2)
+// or (f2<f1) != (t2<t1), which also covers the equal-start/unequal-end
+// merge case — matching Conflicts exactly while compiling to flag-setting
+// compares.
+type witness struct {
+	fx, tx, fy, ty     float64 // founding member
+	fx2, tx2, fy2, ty2 float64 // most recently added member
+}
+
+// refresh replaces the drifting second witness with the member just added
+// to the group.
+func (w *witness) refresh(fx, tx, fy, ty float64) {
+	w.fx2, w.tx2, w.fy2, w.ty2 = fx, tx, fy, ty
+}
+
+// newWitness starts a group's filter with both witnesses on the founding
+// member.
+func newWitness(fx, tx, fy, ty float64) witness {
+	return witness{fx: fx, tx: tx, fy: fy, ty: ty, fx2: fx, tx2: tx, fy2: fy, ty2: ty}
+}
+
+// rejectsX and rejectsY report whether a candidate's axis endpoints
+// conflict with either witness on that axis — the shared fast path of all
+// three first-fit scans, split per axis so each half stays under the
+// compiler's inlining budget.
+func (w *witness) rejectsX(fx, tx float64) bool {
+	if (w.fx < fx) != (w.tx < tx) || (fx < w.fx) != (tx < w.tx) {
+		return true
+	}
+	return (w.fx2 < fx) != (w.tx2 < tx) || (fx < w.fx2) != (tx < w.tx2)
+}
+
+func (w *witness) rejectsY(fy, ty float64) bool {
+	if (w.fy < fy) != (w.ty < ty) || (fy < w.fy) != (ty < w.ty) {
+		return true
+	}
+	return (w.fy2 < fy) != (w.ty2 < ty) || (fy < w.fy2) != (ty < w.ty2)
 }
 
 // Group packs the given 1Q movements into Coll-Moves. It strengthens the
@@ -147,12 +319,17 @@ func (c CollMove) Valid() bool {
 // bucketing collapses the uniform shift patterns that dominate real
 // layout transitions into very few Coll-Moves.
 //
+// Compatibility is decided through the per-group interval index
+// (groupIndex), not a pairwise scan, so grouping n moves costs
+// O(n · groups · log sites) instead of O(n²); the output is identical.
+//
 // Zero-length moves are dropped: a qubit that stays put needs no AOD.
 func Group(moves []Move) []CollMove {
 	type displacement struct{ dx, dy float64 }
 	index := make(map[displacement]int)
 	var buckets []CollMove
-	for _, m := range moves {
+	for mi := range moves {
+		m := &moves[mi]
 		if m.FromSite == m.ToSite {
 			continue
 		}
@@ -163,35 +340,55 @@ func Group(moves []Move) []CollMove {
 			index[d] = i
 			buckets = append(buckets, CollMove{})
 		}
-		buckets[i].Moves = append(buckets[i].Moves, m)
+		buckets[i].Moves = append(buckets[i].Moves, *m)
 	}
-	sort.SliceStable(buckets, func(i, j int) bool {
-		return buckets[i].MaxDistance() < buckets[j].MaxDistance()
+	// Sort keys are precomputed: the stable sort calls its comparison
+	// O(b log b) times, and MaxDistance is linear in the bucket size.
+	maxDist := make([]float64, len(buckets))
+	for i, b := range buckets {
+		maxDist[i] = b.MaxDistance()
+	}
+	order := make([]int, len(buckets))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch {
+		case maxDist[a] < maxDist[b]:
+			return -1
+		case maxDist[a] > maxDist[b]:
+			return 1
+		}
+		return 0
 	})
 
 	var groups []CollMove
+	var indexes []groupIndex
+	var wits []witness
 next:
-	for _, b := range buckets {
-		for gi := range groups {
-			if compatible(groups[gi], b) {
+	for _, bi := range order {
+		b := &buckets[bi]
+		probe := &b.Moves[0]
+		pfx, ptx, pfy, pty := probe.From.X, probe.To.X, probe.From.Y, probe.To.Y
+		for gi := range wits {
+			w := &wits[gi]
+			if w.rejectsX(pfx, ptx) || w.rejectsY(pfy, pty) {
+				continue
+			}
+			if indexes[gi].fitsAll(b.Moves) {
 				groups[gi].Moves = append(groups[gi].Moves, b.Moves...)
+				indexes[gi].addAll(b.Moves)
+				w.refresh(pfx, ptx, pfy, pty)
 				continue next
 			}
 		}
-		groups = append(groups, b)
+		var ix groupIndex
+		ix.addAll(b.Moves)
+		groups = append(groups, *b)
+		indexes = append(indexes, ix)
+		wits = append(wits, newWitness(pfx, ptx, pfy, pty))
 	}
 	return groups
-}
-
-// compatible reports whether every move of b can join group g without an
-// AOD conflict.
-func compatible(g, b CollMove) bool {
-	for _, m := range b.Moves {
-		if !fitsGroup(g, m) {
-			return false
-		}
-	}
-	return true
 }
 
 // GroupByDistance packs movements into Coll-Moves with the literal
@@ -201,25 +398,53 @@ func compatible(g, b CollMove) bool {
 // for the displacement-bucketed Group (BenchmarkAblationGrouping).
 func GroupByDistance(moves []Move) []CollMove {
 	sorted := make([]Move, 0, len(moves))
-	for _, m := range moves {
-		if m.FromSite != m.ToSite {
-			sorted = append(sorted, m)
+	for mi := range moves {
+		if moves[mi].FromSite != moves[mi].ToSite {
+			sorted = append(sorted, moves[mi])
 		}
 	}
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].Distance() < sorted[j].Distance()
+	dist := make([]float64, len(sorted))
+	for i, m := range sorted {
+		dist[i] = m.Distance()
+	}
+	order := make([]int, len(sorted))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch {
+		case dist[a] < dist[b]:
+			return -1
+		case dist[a] > dist[b]:
+			return 1
+		}
+		return 0
 	})
 
 	var groups []CollMove
+	var indexes []groupIndex
+	var wits []witness
 next:
-	for _, m := range sorted {
-		for gi := range groups {
-			if fitsGroup(groups[gi], m) {
-				groups[gi].Moves = append(groups[gi].Moves, m)
+	for _, mi := range order {
+		m := &sorted[mi]
+		mfx, mtx, mfy, mty := m.From.X, m.To.X, m.From.Y, m.To.Y
+		for gi := range wits {
+			w := &wits[gi]
+			if w.rejectsX(mfx, mtx) || w.rejectsY(mfy, mty) {
+				continue
+			}
+			if indexes[gi].fits(m) {
+				groups[gi].Moves = append(groups[gi].Moves, *m)
+				indexes[gi].add(m)
+				w.refresh(mfx, mtx, mfy, mty)
 				continue next
 			}
 		}
-		groups = append(groups, CollMove{Moves: []Move{m}})
+		var ix groupIndex
+		ix.add(m)
+		groups = append(groups, CollMove{Moves: []Move{*m}})
+		indexes = append(indexes, ix)
+		wits = append(wits, newWitness(mfx, mtx, mfy, mty))
 	}
 	return groups
 }
@@ -230,29 +455,34 @@ next:
 // uses.
 func GroupInOrder(moves []Move) []CollMove {
 	var groups []CollMove
+	var indexes []groupIndex
+	var wits []witness
 next:
-	for _, m := range moves {
+	for mi := range moves {
+		m := &moves[mi]
 		if m.FromSite == m.ToSite {
 			continue
 		}
-		for gi := range groups {
-			if fitsGroup(groups[gi], m) {
-				groups[gi].Moves = append(groups[gi].Moves, m)
+		mfx, mtx, mfy, mty := m.From.X, m.To.X, m.From.Y, m.To.Y
+		for gi := range wits {
+			w := &wits[gi]
+			if w.rejectsX(mfx, mtx) || w.rejectsY(mfy, mty) {
+				continue
+			}
+			if indexes[gi].fits(m) {
+				groups[gi].Moves = append(groups[gi].Moves, *m)
+				indexes[gi].add(m)
+				w.refresh(mfx, mtx, mfy, mty)
 				continue next
 			}
 		}
-		groups = append(groups, CollMove{Moves: []Move{m}})
+		var ix groupIndex
+		ix.add(m)
+		groups = append(groups, CollMove{Moves: []Move{*m}})
+		indexes = append(indexes, ix)
+		wits = append(wits, newWitness(mfx, mtx, mfy, mty))
 	}
 	return groups
-}
-
-func fitsGroup(g CollMove, m Move) bool {
-	for _, other := range g.Moves {
-		if Conflicts(other, m) {
-			return false
-		}
-	}
-	return true
 }
 
 // TotalDuration returns the summed duration of the groups executed

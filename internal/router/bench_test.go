@@ -1,0 +1,77 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/layout"
+	"powermove/internal/stage"
+)
+
+// benchStage builds a random disjoint stage over n qubits: n/4 CZ pairs
+// drawn without replacement, the density a QAOA layer produces.
+func benchStage(n int, rng *rand.Rand) stage.Stage {
+	perm := rng.Perm(n)
+	var gates []circuit.CZ
+	for i := 0; i+1 < n/2; i += 2 {
+		gates = append(gates, circuit.NewCZ(perm[i], perm[i+1]))
+	}
+	return stage.Stage{Gates: gates}
+}
+
+// BenchmarkRoute measures one full storage-mode layout transition — park
+// non-interacting qubits, label the stage's pairs, place the undecided —
+// at several register sizes. The per-iteration layout clone is included;
+// it is a fraction of the routing work.
+func BenchmarkRoute(b *testing.B) {
+	for _, n := range []int{100, 400, 1000} {
+		a := arch.New(arch.Config{Qubits: n})
+		initial := layout.New(a, n)
+		initial.PlaceAll(arch.Storage)
+		rng := rand.New(rand.NewSource(17))
+		stages := make([]stage.Stage, 8)
+		for i := range stages {
+			stages[i] = benchStage(n, rng)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := initial.Clone()
+				for _, st := range stages {
+					if _, err := Route(l, st, true, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteNonStorage measures the computation-zone-only mode on the
+// same stage sequences.
+func BenchmarkRouteNonStorage(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		a := arch.New(arch.Config{Qubits: n})
+		initial := layout.New(a, n)
+		initial.PlaceAll(arch.Compute)
+		rng := rand.New(rand.NewSource(18))
+		stages := make([]stage.Stage, 8)
+		for i := range stages {
+			stages[i] = benchStage(n, rng)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := initial.Clone()
+				for _, st := range stages {
+					if _, err := Route(l, st, false, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -19,9 +19,11 @@ package router
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
 	"powermove/internal/arch"
+	"powermove/internal/bitset"
 	"powermove/internal/layout"
 	"powermove/internal/move"
 	"powermove/internal/stage"
@@ -40,36 +42,103 @@ const (
 // departed is the per-qubit sentinel for "destination not yet chosen".
 const departed = -1
 
+// pending is one undecided qubit awaiting a step-3 site, with the mobile
+// partner that follows it there.
+type pending struct{ undecidedQ, follower int }
+
 // planner tracks the planned post-transition occupancy while movement
 // decisions are being made. Qubits start planned at their current sites;
 // deciding that a qubit moves removes it from its origin immediately (even
 // before its destination is known), and commits it to its destination once
 // chosen. All state lives in flat slices indexed by qubit or by
-// arch.SiteIndex; the planner runs once per Rydberg stage and is on the
-// compiler's hot path.
+// arch.SiteIndex, plus a bitset over site indexes that makes the
+// nearest-empty-site scans word-at-a-time; the planner runs once per
+// Rydberg stage and is on the compiler's hot path, so instances are pooled
+// and every per-Route buffer is reused across calls.
 type planner struct {
-	l      *layout.Layout
-	occ    [][]int // site index -> planned occupants
-	target []int   // qubit -> planned site index, or departed
-	label  []label
-	inter  []bool // interacting qubits of the stage
+	l        *layout.Layout
+	occ      [][]int // site index -> planned occupants
+	target   []int   // qubit -> planned site index, or departed
+	label    []label
+	inter    []bool     // interacting qubits of the stage
+	occupied bitset.Set // site indexes with >= 1 planned occupant
+
+	// Reusable scratch for parkNonInteracting, the step-2 waiting list,
+	// and finish.
+	parked  []parkedQ
+	waiting []pending
+	destQ   []int
+	destS   []arch.Site
 }
 
-func newPlanner(l *layout.Layout, interacting []bool) *planner {
+// parkedQ is one computation-zone qubit awaiting a storage site, with its
+// y coordinate precomputed as the step-1 sort key.
+type parkedQ struct {
+	q int
+	y float64
+}
+
+// plannerPool recycles planners across Route calls; Route is invoked once
+// per Rydberg stage and the occupancy buffers dominate its allocations.
+var plannerPool = sync.Pool{New: func() any { return new(planner) }}
+
+// acquirePlanner returns a pooled planner reset for layout l.
+func acquirePlanner(l *layout.Layout) *planner {
+	p := plannerPool.Get().(*planner)
 	n := l.Qubits()
-	p := &planner{
-		l:      l,
-		occ:    make([][]int, l.Arch().TotalSites()),
-		target: make([]int, n),
-		label:  make([]label, n),
-		inter:  interacting,
+	sites := l.Arch().TotalSites()
+	p.l = l
+	if cap(p.occ) < sites {
+		p.occ = make([][]int, sites)
+	} else {
+		p.occ = p.occ[:sites]
+		for i := range p.occ {
+			p.occ[i] = p.occ[i][:0]
+		}
 	}
+	p.target = resizeInts(p.target, n)
+	if cap(p.label) < n {
+		p.label = make([]label, n)
+	} else {
+		p.label = p.label[:n]
+		for i := range p.label {
+			p.label[i] = unlabeled
+		}
+	}
+	if cap(p.inter) < n {
+		p.inter = make([]bool, n)
+	} else {
+		p.inter = p.inter[:n]
+		for i := range p.inter {
+			p.inter[i] = false
+		}
+	}
+	p.occupied.Reset(sites)
+	p.parked = p.parked[:0]
+	p.waiting = p.waiting[:0]
+	p.destQ = p.destQ[:0]
+	p.destS = p.destS[:0]
+
 	for q := 0; q < n; q++ {
-		idx := l.Arch().SiteIndex(l.SiteOf(q))
+		idx := l.IndexOf(q)
 		p.occ[idx] = append(p.occ[idx], q)
 		p.target[q] = idx
+		p.occupied.Add(idx)
 	}
 	return p
+}
+
+// release clears the planner's layout reference and returns it to the pool.
+func (p *planner) release() {
+	p.l = nil
+	plannerPool.Put(p)
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // depart removes q from its planned site without assigning a destination.
@@ -85,6 +154,9 @@ func (p *planner) depart(q int) {
 			break
 		}
 	}
+	if len(p.occ[idx]) == 0 {
+		p.occupied.Remove(idx)
+	}
 	p.target[q] = departed
 }
 
@@ -95,6 +167,7 @@ func (p *planner) commit(q int, s arch.Site) {
 	}
 	idx := p.l.Arch().SiteIndex(s)
 	p.occ[idx] = append(p.occ[idx], q)
+	p.occupied.Add(idx)
 	p.target[q] = idx
 }
 
@@ -104,7 +177,7 @@ func (p *planner) commit(q int, s arch.Site) {
 // Such a resident forces q to the undecided label (Fig. 4c case 2,
 // Fig. 4d case 2), because the pair converging on this site would cluster.
 func (p *planner) blocked(q int) bool {
-	for _, r := range p.occ[p.l.Arch().SiteIndex(p.l.SiteOf(q))] {
+	for _, r := range p.occ[p.l.IndexOf(q)] {
 		if r == q {
 			continue
 		}
@@ -120,23 +193,30 @@ func (p *planner) blocked(q int) bool {
 
 // nearestEmpty returns the closest planned-empty site of zone z to qubit
 // q's current position, breaking distance ties by row then column (the
-// row-major order of arch.Sites).
+// row-major order of arch.Sites). It scans the zone's contiguous site-index
+// range through the occupancy bitset — skipping occupied sites a word at a
+// time — and compares squared distances. Squared comparison selects the
+// same site the Euclidean comparison did: site coordinates are integer
+// multiples of the pitch, so distinct distances differ by far more than
+// the rounding of math.Hypot ever could.
 func (p *planner) nearestEmpty(z arch.Zone, q int) (arch.Site, bool) {
 	a := p.l.Arch()
 	from := p.l.PosOf(q)
-	var best arch.Site
-	bestDist := 0.0
-	found := false
-	for _, s := range a.Sites(z) {
-		if len(p.occ[a.SiteIndex(s)]) > 0 {
-			continue
-		}
-		d := a.Pos(s).Dist(from)
-		if !found || d < bestDist {
-			best, bestDist, found = s, d, true
+	lo, hi := a.ZoneIndexRange(z)
+	best := -1
+	bestD2 := 0.0
+	for idx := p.occupied.NextClear(lo); idx >= 0 && idx < hi; idx = p.occupied.NextClear(idx + 1) {
+		pos := a.PosAt(idx)
+		dx, dy := pos.X-from.X, pos.Y-from.Y
+		d2 := dx*dx + dy*dy
+		if best < 0 || d2 < bestD2 {
+			best, bestD2 = idx, d2
 		}
 	}
-	return best, found
+	if best < 0 {
+		return arch.Site{}, false
+	}
+	return a.SiteAt(best), true
 }
 
 // Route decides and applies the layout transition for the next stage. It
@@ -156,15 +236,17 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 	if !st.Disjoint() {
 		return nil, fmt.Errorf("router: stage gates are not qubit-disjoint")
 	}
-	interacting := make([]bool, l.Qubits())
 	for _, g := range st.Gates {
 		if g.B >= l.Qubits() {
 			return nil, fmt.Errorf("router: gate qubit %d outside layout of %d qubits", g.B, l.Qubits())
 		}
-		interacting[g.A] = true
-		interacting[g.B] = true
 	}
-	p := newPlanner(l, interacting)
+	p := acquirePlanner(l)
+	defer p.release()
+	for _, g := range st.Gates {
+		p.inter[g.A] = true
+		p.inter[g.B] = true
+	}
 
 	if useStorage {
 		if err := p.parkNonInteracting(); err != nil {
@@ -175,8 +257,6 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 	}
 
 	// Step 2: label interacting qubits gate by gate.
-	type pending struct{ undecidedQ, follower int }
-	var waiting []pending
 	for _, g := range st.Gates {
 		qi, qj := g.A, g.B
 		si, sj := l.SiteOf(qi), l.SiteOf(qj)
@@ -197,7 +277,7 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 			p.label[qi] = mobile
 			p.depart(qj)
 			p.depart(qi)
-			waiting = append(waiting, pending{undecidedQ: qj, follower: qi})
+			p.waiting = append(p.waiting, pending{undecidedQ: qj, follower: qi})
 		case zi == arch.Storage || zj == arch.Storage:
 			// Cases 2 and 3 (symmetric): the storage qubit always moves out.
 			storageQ, computeQ := qi, qj
@@ -209,7 +289,7 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 			if p.blocked(computeQ) {
 				p.label[computeQ] = undecided
 				p.depart(computeQ)
-				waiting = append(waiting, pending{undecidedQ: computeQ, follower: storageQ})
+				p.waiting = append(p.waiting, pending{undecidedQ: computeQ, follower: storageQ})
 			} else {
 				p.label[computeQ] = static
 				p.commit(storageQ, l.SiteOf(computeQ))
@@ -226,7 +306,7 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 			if p.blocked(other) {
 				p.label[other] = undecided
 				p.depart(other)
-				waiting = append(waiting, pending{undecidedQ: other, follower: mob})
+				p.waiting = append(p.waiting, pending{undecidedQ: other, follower: mob})
 			} else {
 				p.label[other] = static
 				p.commit(mob, l.SiteOf(other))
@@ -236,7 +316,7 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 
 	// Step 3: place undecided qubits on the nearest empty computation
 	// site; their partners follow.
-	for _, w := range waiting {
+	for _, w := range p.waiting {
 		s, ok := p.nearestEmpty(arch.Compute, w.undecidedQ)
 		if !ok {
 			return nil, fmt.Errorf("router: no empty computation site for qubit %d", w.undecidedQ)
@@ -253,20 +333,22 @@ func Route(l *layout.Layout, st stage.Stage, useStorage bool, rng *rand.Rand) ([
 // descending order of y coordinate so qubits farther from the storage zone
 // choose their sites first.
 func (p *planner) parkNonInteracting() error {
-	var parked []int
 	for q := 0; q < p.l.Qubits(); q++ {
 		if !p.inter[q] && p.l.Zone(q) == arch.Compute {
-			parked = append(parked, q)
+			p.parked = append(p.parked, parkedQ{q: q, y: p.l.PosOf(q).Y})
 		}
 	}
-	sort.SliceStable(parked, func(i, j int) bool {
-		yi, yj := p.l.PosOf(parked[i]).Y, p.l.PosOf(parked[j]).Y
-		if yi != yj {
-			return yi > yj
+	slices.SortStableFunc(p.parked, func(a, b parkedQ) int {
+		switch {
+		case a.y > b.y:
+			return -1
+		case a.y < b.y:
+			return 1
 		}
-		return parked[i] < parked[j]
+		return a.q - b.q
 	})
-	for _, q := range parked {
+	for _, pk := range p.parked {
+		q := pk.q
 		p.label[q] = mobile
 		p.depart(q)
 		s, ok := p.nearestEmpty(arch.Storage, q)
@@ -315,21 +397,33 @@ func (p *planner) separateStalePairs() error {
 }
 
 // finish materializes the plan: it derives the 1Q moves, applies them to
-// the layout, and returns them sorted by qubit for determinism.
+// the layout, and returns them sorted by qubit for determinism. The
+// destination buffers feed layout.BulkMoveSorted, so no per-call map is
+// built.
 func (p *planner) finish() ([]move.Move, error) {
 	a := p.l.Arch()
-	var moves []move.Move
-	targets := make(map[int]arch.Site)
+	count := 0
 	for q := 0; q < p.l.Qubits(); q++ {
 		if p.target[q] == departed {
 			return nil, fmt.Errorf("router: qubit %d left without destination", q)
 		}
-		dest := a.SiteAt(p.target[q])
-		if cur := p.l.SiteOf(q); dest != cur {
-			moves = append(moves, move.New(a, q, cur, dest))
-			targets[q] = dest
+		if p.target[q] != p.l.IndexOf(q) {
+			count++
 		}
 	}
-	p.l.BulkMove(targets)
+	if count == 0 {
+		return nil, nil
+	}
+	moves := make([]move.Move, 0, count)
+	for q := 0; q < p.l.Qubits(); q++ {
+		if p.target[q] == p.l.IndexOf(q) {
+			continue
+		}
+		cur, dest := p.l.SiteOf(q), a.SiteAt(p.target[q])
+		moves = append(moves, move.New(a, q, cur, dest))
+		p.destQ = append(p.destQ, q)
+		p.destS = append(p.destS, dest)
+	}
+	p.l.BulkMoveSorted(p.destQ, p.destS)
 	return moves, nil
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -66,8 +67,28 @@ func (em *endpointMetrics) snapshot() map[string]EndpointStats {
 	return out
 }
 
-// MetricsSnapshot is the /metrics payload: cache, compile, dedup, and
-// per-endpoint latency accounting.
+// MemCounters is the allocation side of /metrics, read from
+// runtime.MemStats at snapshot time. The compile hot path was tuned to
+// run allocation-free (pooled router scratch, bitset sets, reused
+// executor masks); these counters are what lets an operator confirm that
+// holds in production — mallocs per compile should stay flat as traffic
+// grows.
+type MemCounters struct {
+	// HeapAllocBytes is the live heap at snapshot time.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// TotalAllocBytes is cumulative bytes allocated since process start.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs and Frees count heap objects allocated and freed.
+	Mallocs uint64 `json:"mallocs"`
+	Frees   uint64 `json:"frees"`
+	// NumGC counts completed GC cycles.
+	NumGC uint32 `json:"num_gc"`
+	// PauseTotalMS is cumulative stop-the-world pause time.
+	PauseTotalMS float64 `json:"pause_total_ms"`
+}
+
+// MetricsSnapshot is the /metrics payload: cache, compile, dedup, memory,
+// and per-endpoint latency accounting.
 type MetricsSnapshot struct {
 	// UptimeS is seconds since the server was constructed.
 	UptimeS float64 `json:"uptime_s"`
@@ -83,18 +104,30 @@ type MetricsSnapshot struct {
 	// Deduped counts /v1/compile requests that joined a concurrent
 	// identical request through the singleflight group.
 	Deduped int64 `json:"deduped"`
+	// Mem is the process's allocation accounting.
+	Mem MemCounters `json:"mem"`
 	// Endpoints is the per-endpoint request/latency ledger.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 // Metrics returns a snapshot of the server's accounting.
 func (s *Server) Metrics() MetricsSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return MetricsSnapshot{
-		UptimeS:   time.Since(s.start).Seconds(),
-		Workers:   s.workers,
-		Cache:     s.cache.Stats(),
-		Compiles:  s.compiles.Load(),
-		Deduped:   s.flight.joins.Load(),
+		UptimeS:  time.Since(s.start).Seconds(),
+		Workers:  s.workers,
+		Cache:    s.cache.Stats(),
+		Compiles: s.compiles.Load(),
+		Deduped:  s.flight.joins.Load(),
+		Mem: MemCounters{
+			HeapAllocBytes:  ms.HeapAlloc,
+			TotalAllocBytes: ms.TotalAlloc,
+			Mallocs:         ms.Mallocs,
+			Frees:           ms.Frees,
+			NumGC:           ms.NumGC,
+			PauseTotalMS:    float64(ms.PauseTotalNs) / 1e6,
+		},
 		Endpoints: s.endpoints.snapshot(),
 	}
 }

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"powermove/internal/arch"
 	"powermove/internal/fidelity"
@@ -69,6 +70,24 @@ func ExecuteWithTrace(prog *isa.Program, initial *layout.Layout) (*Result, *trac
 	return res, tr, nil
 }
 
+// scratch holds the executor's per-instruction working sets, allocated
+// once per run and reused across the hundreds of move batches and Rydberg
+// pulses of a program. Masks are unset entry-by-entry after use instead of
+// cleared wholesale, so a batch that moves two qubits touches two entries.
+type scratch struct {
+	movedMask   []bool      // batch-scoped mover mask
+	movers      []qubitSite // movers of the current batch, insertion order
+	moveQ       []int       // BulkMoveSorted argument buffers
+	moveS       []arch.Site
+	interacting []bool // pulse-scoped interacting-qubit mask
+}
+
+// qubitSite is one mover's destination.
+type qubitSite struct {
+	q int
+	s arch.Site
+}
+
 func run(prog *isa.Program, initial *layout.Layout, tr *trace.Trace) (*Result, error) {
 	if prog.Qubits != initial.Qubits() {
 		return nil, fmt.Errorf("sim: program has %d qubits, layout has %d", prog.Qubits, initial.Qubits())
@@ -76,6 +95,10 @@ func run(prog *isa.Program, initial *layout.Layout, tr *trace.Trace) (*Result, e
 	l := initial.Clone()
 	res := &Result{Final: l}
 	res.Counts.IdleTime = make([]float64, l.Qubits())
+	sc := &scratch{
+		movedMask:   make([]bool, l.Qubits()),
+		interacting: make([]bool, l.Qubits()),
+	}
 
 	for idx, in := range prog.Instr {
 		before := res.Breakdown.Total()
@@ -87,7 +110,7 @@ func run(prog *isa.Program, initial *layout.Layout, tr *trace.Trace) (*Result, e
 			err = execOneQ(in, l, res)
 			kind = trace.KindOneQ
 		case isa.MoveBatch:
-			err = execMoveBatch(in, l, res)
+			err = execMoveBatch(in, l, res, sc)
 			kind = trace.KindMove
 			if tr != nil {
 				for _, g := range in.Groups {
@@ -97,7 +120,7 @@ func run(prog *isa.Program, initial *layout.Layout, tr *trace.Trace) (*Result, e
 				}
 			}
 		case isa.Rydberg:
-			err = execRydberg(in, l, res)
+			err = execRydberg(in, l, res, sc)
 			kind = trace.KindRydberg
 			if tr != nil {
 				for _, p := range in.Pairs {
@@ -142,11 +165,11 @@ func execOneQ(in isa.OneQLayer, l *layout.Layout, res *Result) error {
 }
 
 // execMoveBatch validates and applies one parallel movement batch.
-func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result) error {
+func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result, sc *scratch) error {
 	if len(in.Groups) == 0 {
 		return fmt.Errorf("empty move batch")
 	}
-	moved := make(map[int]arch.Site)
+	sc.movers = sc.movers[:0]
 	for aod, g := range in.Groups {
 		if !g.Valid() {
 			return fmt.Errorf("AOD %d: conflicting moves within one collective move", aod)
@@ -155,7 +178,7 @@ func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result) error {
 			if m.Qubit < 0 || m.Qubit >= l.Qubits() {
 				return fmt.Errorf("AOD %d: move references qubit %d", aod, m.Qubit)
 			}
-			if _, dup := moved[m.Qubit]; dup {
+			if sc.movedMask[m.Qubit] {
 				return fmt.Errorf("AOD %d: qubit %d moved twice in one batch", aod, m.Qubit)
 			}
 			if got := l.SiteOf(m.Qubit); got != m.FromSite {
@@ -164,7 +187,8 @@ func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result) error {
 			if !l.Arch().InBounds(m.ToSite) {
 				return fmt.Errorf("AOD %d: qubit %d target %v out of bounds", aod, m.Qubit, m.ToSite)
 			}
-			moved[m.Qubit] = m.ToSite
+			sc.movedMask[m.Qubit] = true
+			sc.movers = append(sc.movers, qubitSite{q: m.Qubit, s: m.ToSite})
 		}
 	}
 
@@ -173,15 +197,32 @@ func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result) error {
 	// shielded for the whole batch; everyone else (movers in transit,
 	// computation-zone residents) idles for the batch duration.
 	for q := 0; q < l.Qubits(); q++ {
-		_, isMoving := moved[q]
-		if !isMoving && l.Zone(q) == arch.Storage {
+		if !sc.movedMask[q] && l.Zone(q) == arch.Storage {
 			continue
 		}
 		res.Counts.IdleTime[q] += dur
 	}
 
-	l.BulkMove(moved)
-	res.Counts.Transfers += 2 * len(moved)
+	// BulkMoveSorted wants ascending qubit order — the same order
+	// BulkMove's map variant attaches in.
+	slices.SortFunc(sc.movers, func(a, b qubitSite) int { return a.q - b.q })
+	for _, mv := range sc.movers {
+		sc.movedMask[mv.q] = false
+	}
+	if len(sc.movers) > 0 {
+		if cap(sc.moveQ) < len(sc.movers) {
+			sc.moveQ = make([]int, 0, l.Qubits())
+			sc.moveS = make([]arch.Site, 0, l.Qubits())
+		}
+		sc.moveQ = sc.moveQ[:0]
+		sc.moveS = sc.moveS[:0]
+		for _, mv := range sc.movers {
+			sc.moveQ = append(sc.moveQ, mv.q)
+			sc.moveS = append(sc.moveS, mv.s)
+		}
+		l.BulkMoveSorted(sc.moveQ, sc.moveS)
+	}
+	res.Counts.Transfers += 2 * len(sc.movers)
 	res.Breakdown.Move += dur - 2*phys.DurationTransfer
 	res.Breakdown.Transfer += 2 * phys.DurationTransfer
 	res.MoveBatches++
@@ -191,16 +232,21 @@ func execMoveBatch(in isa.MoveBatch, l *layout.Layout, res *Result) error {
 // execRydberg validates co-location and occupancy, then fires the global
 // pulse: scheduled pairs gain a CZ each, idle computation-zone qubits gain
 // one excitation-error event each, and storage-zone qubits are untouched.
-func execRydberg(in isa.Rydberg, l *layout.Layout, res *Result) error {
+func execRydberg(in isa.Rydberg, l *layout.Layout, res *Result, sc *scratch) error {
 	if len(in.Pairs) == 0 {
 		return fmt.Errorf("Rydberg pulse with no gates")
 	}
 	if err := l.Validate(in.Pairs); err != nil {
 		return err
 	}
-	interacting := make(map[int]bool, 2*len(in.Pairs))
+	// The interacting mask is pulse-scoped scratch; entries are unset
+	// again below (cheaper than clearing the whole slice per pulse).
+	interacting := sc.interacting
 	for _, g := range in.Pairs {
 		if interacting[g.A] || interacting[g.B] {
+			for _, h := range in.Pairs {
+				interacting[h.A], interacting[h.B] = false, false
+			}
 			return fmt.Errorf("qubit reused within stage %d", in.Stage)
 		}
 		interacting[g.A] = true
@@ -215,6 +261,9 @@ func execRydberg(in isa.Rydberg, l *layout.Layout, res *Result) error {
 			res.Counts.ExcitedIdle++
 			res.Counts.IdleTime[q] += phys.DurationCZ
 		}
+	}
+	for _, g := range in.Pairs {
+		interacting[g.A], interacting[g.B] = false, false
 	}
 	res.Counts.CZGates += len(in.Pairs)
 	res.Counts.Excitations++

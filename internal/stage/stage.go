@@ -7,8 +7,11 @@ package stage
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
+	"powermove/internal/bitset"
 	"powermove/internal/circuit"
 	"powermove/internal/graphutil"
 )
@@ -19,14 +22,17 @@ type Stage struct {
 	Gates []circuit.CZ
 }
 
-// Qubits returns the sorted set of interacting qubits of the stage.
+// Qubits returns the sorted, deduplicated set of interacting qubits of the
+// stage. For a well-formed (disjoint) stage no qubit repeats and the
+// result has exactly 2*len(Gates) entries; for an arbitrary gate list the
+// duplicates are removed, so the result is a set either way.
 func (s Stage) Qubits() []int {
 	out := make([]int, 0, 2*len(s.Gates))
 	for _, g := range s.Gates {
 		out = append(out, g.A, g.B)
 	}
 	sort.Ints(out)
-	return out
+	return slices.Compact(out)
 }
 
 // QubitSet returns the interacting qubits of the stage as a set.
@@ -39,16 +45,46 @@ func (s Stage) QubitSet() map[int]bool {
 	return set
 }
 
+// maxQubit returns the largest qubit index of the stage, or -1 for an
+// empty stage. CZ normalizes A < B, so only B values need scanning.
+func (s Stage) maxQubit() int {
+	max := -1
+	for _, g := range s.Gates {
+		if g.B > max {
+			max = g.B
+		}
+	}
+	return max
+}
+
+// qubitBits fills set (sized for at least maxQubit+1) with the stage's
+// interacting qubits.
+func (s Stage) qubitBits(set *bitset.Set) {
+	for _, g := range s.Gates {
+		set.Add(g.A)
+		set.Add(g.B)
+	}
+}
+
+// disjointPool recycles the scratch bitset of Disjoint, which the router
+// calls once per Rydberg stage.
+var disjointPool = sync.Pool{New: func() any { return new(bitset.Set) }}
+
 // Disjoint reports whether the stage's gates act on pairwise-disjoint
 // qubits, the defining property of a stage.
 func (s Stage) Disjoint() bool {
-	seen := make(map[int]bool, 2*len(s.Gates))
+	if len(s.Gates) == 0 {
+		return true
+	}
+	seen := disjointPool.Get().(*bitset.Set)
+	defer disjointPool.Put(seen)
+	seen.Reset(s.maxQubit() + 1)
 	for _, g := range s.Gates {
-		if seen[g.A] || seen[g.B] {
+		if seen.Contains(g.A) || seen.Contains(g.B) {
 			return false
 		}
-		seen[g.A] = true
-		seen[g.B] = true
+		seen.Add(g.A)
+		seen.Add(g.B)
 	}
 	return true
 }
@@ -64,7 +100,8 @@ func (s Stage) String() string {
 // stages is vertex coloring of the conflict graph.
 func ConflictGraph(gates []circuit.CZ) *graphutil.Graph {
 	g := graphutil.NewGraph(len(gates))
-	byQubit := make(map[int][]int)
+	maxQ := Stage{Gates: gates}.maxQubit()
+	byQubit := make([][]int, maxQ+1)
 	for i, gate := range gates {
 		byQubit[gate.A] = append(byQubit[gate.A], i)
 		byQubit[gate.B] = append(byQubit[gate.B], i)
@@ -143,18 +180,20 @@ func Partition(gates []circuit.CZ) []Stage {
 // remaining gates, scanning them in input order. Each matching is one
 // stage.
 func matchingPartition(gates []circuit.CZ) []Stage {
+	maxQ := Stage{Gates: gates}.maxQubit()
+	used := bitset.New(maxQ + 1)
 	remaining := gates
 	var stages []Stage
 	for len(remaining) > 0 {
-		used := make(map[int]bool, 2*len(remaining))
+		used.Reset(maxQ + 1)
 		var cur, rest []circuit.CZ
 		for _, g := range remaining {
-			if used[g.A] || used[g.B] {
+			if used.Contains(g.A) || used.Contains(g.B) {
 				rest = append(rest, g)
 				continue
 			}
-			used[g.A] = true
-			used[g.B] = true
+			used.Add(g.A)
+			used.Add(g.B)
 			cur = append(cur, g)
 		}
 		stages = append(stages, Stage{Gates: cur})
@@ -168,21 +207,28 @@ func matchingPartition(gates []circuit.CZ) []Stage {
 // out. One pass suffices: a gate that cannot move earlier now will not be
 // unblocked by removing gates from strictly later stages.
 func compact(stages []Stage) []Stage {
-	sets := make([]map[int]bool, len(stages))
+	maxQ := -1
+	for _, s := range stages {
+		if m := s.maxQubit(); m > maxQ {
+			maxQ = m
+		}
+	}
+	sets := make([]*bitset.Set, len(stages))
 	for i, s := range stages {
-		sets[i] = s.QubitSet()
+		sets[i] = bitset.New(maxQ + 1)
+		s.qubitBits(sets[i])
 	}
 	for i := len(stages) - 1; i > 0; i-- {
 		var kept []circuit.CZ
 		for _, gate := range stages[i].Gates {
 			placed := false
 			for j := 0; j < i; j++ {
-				if !sets[j][gate.A] && !sets[j][gate.B] {
+				if !sets[j].Contains(gate.A) && !sets[j].Contains(gate.B) {
 					stages[j].Gates = append(stages[j].Gates, gate)
-					sets[j][gate.A] = true
-					sets[j][gate.B] = true
-					sets[i][gate.A] = false
-					sets[i][gate.B] = false
+					sets[j].Add(gate.A)
+					sets[j].Add(gate.B)
+					sets[i].Remove(gate.A)
+					sets[i].Remove(gate.B)
 					placed = true
 					break
 				}
@@ -228,15 +274,24 @@ func Order(stages []Stage, alpha float64) []Stage {
 	}
 
 	used := make([]bool, len(stages))
-	sets := make([]map[int]bool, len(stages))
+	maxQ := -1
+	for _, s := range stages {
+		if m := s.maxQubit(); m > maxQ {
+			maxQ = m
+		}
+	}
+	sets := make([]*bitset.Set, len(stages))
+	sizes := make([]int, len(stages))
 	for i, s := range stages {
-		sets[i] = s.QubitSet()
+		sets[i] = bitset.New(maxQ + 1)
+		s.qubitBits(sets[i])
+		sizes[i] = sets[i].Count()
 	}
 
 	// First stage: fewest interacting qubits.
 	first := 0
 	for i := 1; i < len(stages); i++ {
-		if len(sets[i]) < len(sets[first]) {
+		if sizes[i] < sizes[first] {
 			first = i
 		}
 	}
@@ -266,21 +321,10 @@ func Order(stages []Stage, alpha float64) []Stage {
 	return out
 }
 
-// transitionCost returns |cur \ next| + alpha * |next \ cur|.
-func transitionCost(cur, next map[int]bool, alpha float64) float64 {
-	leaving := 0
-	for q := range cur {
-		if !next[q] {
-			leaving++
-		}
-	}
-	entering := 0
-	for q := range next {
-		if !cur[q] {
-			entering++
-		}
-	}
-	return float64(leaving) + alpha*float64(entering)
+// transitionCost returns |cur \ next| + alpha * |next \ cur|, computed
+// word-at-a-time on the stages' qubit bitsets.
+func transitionCost(cur, next *bitset.Set, alpha float64) float64 {
+	return float64(cur.AndNotCount(next)) + alpha*float64(next.AndNotCount(cur))
 }
 
 // TotalGates returns the number of gates across all stages.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"powermove/internal/bitset"
 	"powermove/internal/circuit"
 	"powermove/internal/graphutil"
 )
@@ -236,10 +237,63 @@ func TestOrderAlphaAsymmetry(t *testing.T) {
 	// Force cur to be first by making it the smallest? cur has 4
 	// qubits, a has 2 — a would be first. Instead check transition
 	// costs directly.
-	costA := transitionCost(cur.QubitSet(), a.QubitSet(), DefaultAlpha)
-	costB := transitionCost(cur.QubitSet(), b.QubitSet(), DefaultAlpha)
+	costA := transitionCost(bitsOf(cur), bitsOf(a), DefaultAlpha)
+	costB := transitionCost(bitsOf(cur), bitsOf(b), DefaultAlpha)
 	if costB >= costA {
 		t.Errorf("cost into-storage-preferring order wrong: costA=%v costB=%v", costA, costB)
+	}
+}
+
+// bitsOf builds the qubit bitset of a stage the way Order does.
+func bitsOf(s Stage) *bitset.Set {
+	set := bitset.New(s.maxQubit() + 1)
+	s.qubitBits(set)
+	return set
+}
+
+// TestTransitionCostMatchesMapReference pins the bitset-based cost to the
+// map-based formula it replaced: |cur \ next| + alpha * |next \ cur|.
+func TestTransitionCostMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		a := Stage{Gates: randomGates(16, 0.3, rng)}
+		b := Stage{Gates: randomGates(16, 0.3, rng)}
+		if len(a.Gates) == 0 || len(b.Gates) == 0 {
+			continue
+		}
+		sa, sb := a.QubitSet(), b.QubitSet()
+		leaving, entering := 0, 0
+		for q := range sa {
+			if !sb[q] {
+				leaving++
+			}
+		}
+		for q := range sb {
+			if !sa[q] {
+				entering++
+			}
+		}
+		want := float64(leaving) + DefaultAlpha*float64(entering)
+		if got := transitionCost(bitsOf(a), bitsOf(b), DefaultAlpha); got != want {
+			t.Fatalf("trial %d: transitionCost = %v, map reference %v", trial, got, want)
+		}
+	}
+}
+
+// TestQubitsDedupes: Qubits claims to return a *set*; overlapping gates
+// (a non-disjoint gate list, as handed to Partition) must not produce
+// duplicate entries.
+func TestQubitsDedupes(t *testing.T) {
+	st := Stage{Gates: []circuit.CZ{circuit.NewCZ(0, 1), circuit.NewCZ(1, 2), circuit.NewCZ(0, 2)}}
+	got := st.Qubits()
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Qubits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Qubits = %v, want %v", got, want)
+		}
 	}
 }
 

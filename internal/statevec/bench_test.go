@@ -1,0 +1,67 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// benchGates measures one gate applied across every qubit of the
+// register, serial vs parallel, at two register sizes. The parallel
+// sub-benches only help above the threshold (2^14 amplitudes), which is
+// why q=12 is expected to tie and q=18 to scale.
+func benchGates(b *testing.B, name string, apply func(s *State, q int)) {
+	for _, n := range []int{12, 18} {
+		for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+			rng := rand.New(rand.NewSource(3))
+			s := NewRandom(n, rng)
+			mode := "par"
+			if workers == 1 {
+				mode = "ser"
+			}
+			b.Run(fmt.Sprintf("%s/q=%d/%s", name, n, mode), func(b *testing.B) {
+				SetParallelism(workers)
+				defer SetParallelism(0)
+				b.SetBytes(int64(16 << uint(n)))
+				for i := 0; i < b.N; i++ {
+					for q := 0; q < n; q++ {
+						apply(s, q)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkStatevecH(b *testing.B) {
+	benchGates(b, "H", func(s *State, q int) { s.H(q) })
+}
+
+func BenchmarkStatevecRZ(b *testing.B) {
+	benchGates(b, "RZ", func(s *State, q int) { s.RZ(q, math.Pi/7) })
+}
+
+func BenchmarkStatevecCZ(b *testing.B) {
+	benchGates(b, "CZ", func(s *State, q int) { s.CZ(q, (q+1)%s.Qubits()) })
+}
+
+func BenchmarkStatevecNorm(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		rng := rand.New(rand.NewSource(4))
+		s := NewRandom(18, rng)
+		mode := "par"
+		if workers == 1 {
+			mode = "ser"
+		}
+		b.Run(fmt.Sprintf("q=18/%s", mode), func(b *testing.B) {
+			SetParallelism(workers)
+			defer SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				if s.Norm() == 0 {
+					b.Fatal("zero norm")
+				}
+			}
+		})
+	}
+}

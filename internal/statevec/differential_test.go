@@ -1,0 +1,152 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the blocked, optionally parallel gate kernels to the
+// naive mask-scan loops they replaced. The references below are verbatim
+// copies of the pre-blocking implementations; the tests assert the new
+// kernels produce bit-identical amplitudes — serial and parallel alike —
+// on random states, so the simulator's semantic-equivalence checks keep
+// their exact meaning.
+
+func naiveH(s *State, q int) {
+	bit := 1 << uint(q)
+	inv := complex(1/math.Sqrt2, 0)
+	for i := range s.amp {
+		if i&bit == 0 {
+			a, b := s.amp[i], s.amp[i|bit]
+			s.amp[i] = inv * (a + b)
+			s.amp[i|bit] = inv * (a - b)
+		}
+	}
+}
+
+func naiveX(s *State, q int) {
+	bit := 1 << uint(q)
+	for i := range s.amp {
+		if i&bit == 0 {
+			s.amp[i], s.amp[i|bit] = s.amp[i|bit], s.amp[i]
+		}
+	}
+}
+
+func naiveRZ(s *State, q int, theta float64) {
+	bit := 1 << uint(q)
+	phase := cmplx.Exp(complex(0, theta))
+	for i := range s.amp {
+		if i&bit != 0 {
+			s.amp[i] *= phase
+		}
+	}
+}
+
+func naiveCZ(s *State, a, b int) {
+	mask := 1<<uint(a) | 1<<uint(b)
+	for i := range s.amp {
+		if i&mask == mask {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// identical demands bit-identical amplitudes, not tolerance equality: the
+// blocked kernels perform the same float operations on the same elements,
+// so any difference is a kernel bug.
+func identical(t *testing.T, label string, got, want *State) {
+	t.Helper()
+	for i := range want.amp {
+		if got.amp[i] != want.amp[i] {
+			t.Fatalf("%s: amplitude %d differs: %v vs %v", label, i, got.amp[i], want.amp[i])
+		}
+	}
+}
+
+// TestKernelsMatchNaiveReference applies long random gate sequences to
+// random states through the blocked kernels and the naive references, at
+// several register sizes and parallelism settings (the threshold is
+// lowered so even small states exercise the goroutine path; run under
+// -race this also proves the chunking is data-race free).
+func TestKernelsMatchNaiveReference(t *testing.T) {
+	oldThreshold := parallelThreshold
+	defer func() { parallelThreshold = oldThreshold; SetParallelism(0) }()
+
+	for _, workers := range []int{1, 3, 8} {
+		for _, n := range []int{1, 2, 5, 9, 12} {
+			rng := rand.New(rand.NewSource(int64(100*n + workers)))
+			fast := NewRandom(n, rng)
+			ref := fast.Clone()
+			parallelThreshold = 4 // force the parallel path on tiny states
+			SetParallelism(workers)
+
+			for step := 0; step < 120; step++ {
+				q := rng.Intn(n)
+				switch rng.Intn(4) {
+				case 0:
+					fast.H(q)
+					naiveH(ref, q)
+				case 1:
+					fast.X(q)
+					naiveX(ref, q)
+				case 2:
+					theta := rng.Float64() * 2 * math.Pi
+					fast.RZ(q, theta)
+					naiveRZ(ref, q, theta)
+				default:
+					if n < 2 {
+						continue
+					}
+					p := rng.Intn(n)
+					if p == q {
+						p = (q + 1) % n
+					}
+					fast.CZ(q, p)
+					naiveCZ(ref, q, p)
+				}
+			}
+			identical(t, fmt.Sprintf("n=%d/workers=%d", n, workers), fast, ref)
+		}
+	}
+}
+
+// TestReductionsDeterministicAcrossParallelism: Norm and InnerProduct must
+// return bit-identical values for every worker count — the fixed-chunk
+// merge contract.
+func TestReductionsDeterministicAcrossParallelism(t *testing.T) {
+	oldThreshold := parallelThreshold
+	defer func() { parallelThreshold = oldThreshold; SetParallelism(0) }()
+	parallelThreshold = 4
+
+	rng := rand.New(rand.NewSource(77))
+	a := NewRandom(14, rng)
+	b := NewRandom(14, rng)
+
+	SetParallelism(1)
+	wantNorm := a.Norm()
+	wantIP := a.InnerProduct(b)
+	for _, workers := range []int{2, 5, 16} {
+		SetParallelism(workers)
+		if got := a.Norm(); got != wantNorm {
+			t.Fatalf("workers=%d: Norm = %v, serial %v", workers, got, wantNorm)
+		}
+		if got := a.InnerProduct(b); got != wantIP {
+			t.Fatalf("workers=%d: InnerProduct = %v, serial %v", workers, got, wantIP)
+		}
+	}
+}
+
+// TestCXStillComposes: the compiled CX identity survives the kernel
+// rewrite end to end.
+func TestCXStillComposes(t *testing.T) {
+	s := NewZero(2)
+	s.X(0)     // |01>
+	s.CX(0, 1) // control q0 -> |11>
+	if p := s.Probability(3); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("P(|11>) = %v, want 1", p)
+	}
+}

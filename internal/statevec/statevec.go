@@ -17,11 +17,75 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // MaxQubits bounds the register size; 2^24 amplitudes (256 MiB of
 // complex128) is already beyond what the test suite exercises.
 const MaxQubits = 24
+
+// parallelism is the configured worker count for gate kernels; 0 selects
+// GOMAXPROCS. It is read atomically so concurrent simulations and a
+// configuration change never race.
+var parallelism atomic.Int32
+
+// parallelThreshold is the minimum amplitude count before a gate kernel
+// fans out to goroutines; below it the dispatch overhead exceeds the work.
+// It is a variable so tests can drive the parallel path on small states.
+var parallelThreshold = 1 << 14
+
+// SetParallelism sets the number of goroutines gate kernels may use on
+// large states: n <= 0 restores the default (GOMAXPROCS), 1 forces serial
+// execution. Kernels are element-wise on disjoint index sets and the
+// reductions accumulate over fixed chunk boundaries, so results are
+// byte-identical for every setting.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor splits [0, total) into one contiguous chunk per worker and
+// runs f on each chunk in its own goroutine. It runs f(0, total) inline
+// when the state is below the parallel threshold or one worker is
+// configured. Chunk boundaries never influence results: gate kernels are
+// element-wise, and reductions fix their own accumulation grain
+// (reduceChunk) independent of the split.
+func parallelFor(total, amps int, f func(lo, hi int)) {
+	workers := Parallelism()
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 || amps < parallelThreshold {
+		f(0, total)
+		return
+	}
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // State is a normalized quantum state on n qubits.
 type State struct {
@@ -76,11 +140,41 @@ func (s *State) Probability(idx int) float64 {
 	return real(s.amp[idx])*real(s.amp[idx]) + imag(s.amp[idx])*imag(s.amp[idx])
 }
 
+// reduceChunk is the fixed accumulation grain of the parallel reductions:
+// partial sums are formed over [c*reduceChunk, (c+1)*reduceChunk) and
+// combined in ascending chunk order, so the floating-point result is
+// identical for every parallelism setting — the deterministic merge the
+// fidelity comparisons rely on.
+const reduceChunk = 1 << 13
+
 // Norm returns the 2-norm of the state (1 for any valid state).
 func (s *State) Norm() float64 {
+	amp := s.amp
+	if len(amp) <= reduceChunk {
+		total := 0.0
+		for _, a := range amp {
+			total += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return math.Sqrt(total)
+	}
+	chunks := (len(amp) + reduceChunk - 1) / reduceChunk
+	partials := make([]float64, chunks)
+	parallelFor(chunks, len(amp), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			end := (c + 1) * reduceChunk
+			if end > len(amp) {
+				end = len(amp)
+			}
+			sum := 0.0
+			for _, a := range amp[c*reduceChunk : end] {
+				sum += real(a)*real(a) + imag(a)*imag(a)
+			}
+			partials[c] = sum
+		}
+	})
 	total := 0.0
-	for _, a := range s.amp {
-		total += real(a)*real(a) + imag(a)*imag(a)
+	for _, p := range partials {
+		total += p
 	}
 	return math.Sqrt(total)
 }
@@ -91,29 +185,64 @@ func (s *State) checkQubit(q int) {
 	}
 }
 
+// The gate kernels below are cache-blocked: instead of scanning all 2^n
+// indexes and masking out the relevant ones, they enumerate the affected
+// index set directly as contiguous runs. A single-qubit gate on qubit q
+// touches pairs (i, i+bit) whose low index has bit q clear; ranking those
+// pairs 0..2^(n-1)-1 and expanding rank p to index
+// ((p &^ (bit-1)) << 1) | (p & (bit-1)) walks the pairs in runs of length
+// bit with unit stride — sequential memory on both halves of each block.
+// The rank space is also what the goroutine dispatcher splits: chunks are
+// disjoint index sets, so parallel execution is trivially deterministic.
+
+// pairIndex expands pair rank p to the low index of its (i, i+bit) pair.
+func pairIndex(p, mask int) int {
+	return ((p &^ mask) << 1) | (p & mask)
+}
+
 // H applies a Hadamard to qubit q.
 func (s *State) H(q int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
 	inv := complex(1/math.Sqrt2, 0)
-	for i := range s.amp {
-		if i&bit == 0 {
-			a, b := s.amp[i], s.amp[i|bit]
-			s.amp[i] = inv * (a + b)
-			s.amp[i|bit] = inv * (a - b)
+	amp := s.amp
+	mask := bit - 1
+	parallelFor(len(amp)/2, len(amp), func(lo, hi int) {
+		for p := lo; p < hi; {
+			end := (p | mask) + 1
+			if end > hi {
+				end = hi
+			}
+			i := pairIndex(p, mask)
+			for ; p < end; p++ {
+				a, b := amp[i], amp[i+bit]
+				amp[i] = inv * (a + b)
+				amp[i+bit] = inv * (a - b)
+				i++
+			}
 		}
-	}
+	})
 }
 
 // X applies a Pauli-X (NOT) to qubit q.
 func (s *State) X(q int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	for i := range s.amp {
-		if i&bit == 0 {
-			s.amp[i], s.amp[i|bit] = s.amp[i|bit], s.amp[i]
+	amp := s.amp
+	mask := bit - 1
+	parallelFor(len(amp)/2, len(amp), func(lo, hi int) {
+		for p := lo; p < hi; {
+			end := (p | mask) + 1
+			if end > hi {
+				end = hi
+			}
+			i := pairIndex(p, mask)
+			for ; p < end; p++ {
+				amp[i], amp[i+bit] = amp[i+bit], amp[i]
+				i++
+			}
 		}
-	}
+	})
 }
 
 // Z applies a Pauli-Z to qubit q.
@@ -126,11 +255,21 @@ func (s *State) RZ(q int, theta float64) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
 	phase := cmplx.Exp(complex(0, theta))
-	for i := range s.amp {
-		if i&bit != 0 {
-			s.amp[i] *= phase
+	amp := s.amp
+	mask := bit - 1
+	parallelFor(len(amp)/2, len(amp), func(lo, hi int) {
+		for p := lo; p < hi; {
+			end := (p | mask) + 1
+			if end > hi {
+				end = hi
+			}
+			i := pairIndex(p, mask) + bit
+			for ; p < end; p++ {
+				amp[i] *= phase
+				i++
+			}
 		}
-	}
+	})
 }
 
 // CZ applies a controlled-Z between qubits a and b.
@@ -141,12 +280,28 @@ func (s *State) CZ(a, b int) {
 	if a == b {
 		panic(fmt.Sprintf("statevec: CZ on identical qubit %d", a))
 	}
-	mask := 1<<uint(a) | 1<<uint(b)
-	for i := range s.amp {
-		if i&mask == mask {
-			s.amp[i] = -s.amp[i]
-		}
+	loBit, hiBit := 1<<uint(a), 1<<uint(b)
+	if loBit > hiBit {
+		loBit, hiBit = hiBit, loBit
 	}
+	loMask, hiMask := loBit-1, hiBit-1
+	amp := s.amp
+	// Rank space: indexes with both bits set, enumerated by expanding the
+	// rank around the low bit, then the high bit, in runs of loBit.
+	parallelFor(len(amp)/4, len(amp), func(lo, hi int) {
+		for p := lo; p < hi; {
+			end := (p | loMask) + 1
+			if end > hi {
+				end = hi
+			}
+			i := pairIndex(p, loMask)
+			i = pairIndex(i, hiMask) | loBit | hiBit
+			for ; p < end; p++ {
+				amp[i] = -amp[i]
+				i++
+			}
+		}
+	})
 }
 
 // CX applies a controlled-X with control c and target t, via the
@@ -157,15 +312,39 @@ func (s *State) CX(c, t int) {
 	s.H(t)
 }
 
-// InnerProduct returns <s|o>.
+// InnerProduct returns <s|o>, accumulated over the fixed reduceChunk
+// grain so the result is identical for every parallelism setting.
 // It panics on register-size mismatch.
 func (s *State) InnerProduct(o *State) complex128 {
 	if s.n != o.n {
 		panic(fmt.Sprintf("statevec: register sizes %d and %d differ", s.n, o.n))
 	}
+	sa, oa := s.amp, o.amp
+	if len(sa) <= reduceChunk {
+		var total complex128
+		for i := range sa {
+			total += cmplx.Conj(sa[i]) * oa[i]
+		}
+		return total
+	}
+	chunks := (len(sa) + reduceChunk - 1) / reduceChunk
+	partials := make([]complex128, chunks)
+	parallelFor(chunks, len(sa), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			end := (c + 1) * reduceChunk
+			if end > len(sa) {
+				end = len(sa)
+			}
+			var sum complex128
+			for i := c * reduceChunk; i < end; i++ {
+				sum += cmplx.Conj(sa[i]) * oa[i]
+			}
+			partials[c] = sum
+		}
+	})
 	var total complex128
-	for i := range s.amp {
-		total += cmplx.Conj(s.amp[i]) * o.amp[i]
+	for _, p := range partials {
+		total += p
 	}
 	return total
 }
