@@ -162,7 +162,7 @@ func main() {
 		fail(err)
 		if *stable {
 			for i := range points {
-				points[i].Result.Tcomp = 0
+				points[i].Result.Stabilize()
 			}
 		}
 		out.Figure7 = points

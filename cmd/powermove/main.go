@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"powermove"
 )
@@ -31,6 +33,7 @@ func main() {
 		baseline = flag.Bool("baseline", false, "also compile with the Enola baseline and compare")
 		disasm   = flag.Bool("disasm", false, "print the compiled instruction stream")
 		traceOut = flag.Bool("trace", false, "print the execution timeline as an ASCII Gantt chart")
+		timings  = flag.Bool("timings", false, "print the compiler's per-pass timing breakdown")
 		layouts  = flag.Bool("layouts", false, "print the initial and final qubit layouts")
 		jsonOut  = flag.Bool("json", false, "emit the compile-service JSON document instead of text (byte-identical to powermoved's /v1/compile response for the same request)")
 		stable   = flag.Bool("stable", false, "with -json: omit measured wall-clock fields so output is byte-identical across runs")
@@ -58,6 +61,10 @@ func main() {
 	}
 	fmt.Printf("\npowermove (storage=%v, %d AOD):\n", *storage, *aods)
 	printRun(run)
+	if *timings {
+		fmt.Println()
+		printPasses(run.Compile.Stats.Passes)
+	}
 	if *disasm {
 		fmt.Println()
 		fmt.Print(run.Compile.Program.Disassemble())
@@ -172,6 +179,28 @@ func loadCircuit(qasmPath, bench string, n int, seed int64) (*powermove.Circuit,
 	default:
 		return nil, fmt.Errorf("specify -qasm or -bench (see -help)")
 	}
+}
+
+// printPasses renders the compiler's per-pass breakdown: self-time,
+// call counts, and the schedule counters each pass advanced. Pass
+// self-times sum to ~t_comp (the remainder is driver overhead).
+func printPasses(passes powermove.PassStats) {
+	fmt.Println("per-pass breakdown:")
+	for _, p := range passes {
+		counters := ""
+		if len(p.Counters) > 0 {
+			keys := make([]string, 0, len(p.Counters))
+			for k := range p.Counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				counters += fmt.Sprintf("  %s=%d", k, p.Counters[k])
+			}
+		}
+		fmt.Printf("  %-16s %5d call(s) %12s%s\n", p.Pass, p.Calls, p.Duration.Round(time.Microsecond), counters)
+	}
+	fmt.Printf("  %-16s %20s %12s\n", "total", "", passes.Total().Round(time.Microsecond))
 }
 
 func printRun(run *powermove.RunResult) {

@@ -1,0 +1,6 @@
+package compiler
+
+// MISStagesForTest exposes the Enola staging kernel to the package's
+// external differential tests, which replay the pre-refactor baseline
+// loop around it.
+var MISStagesForTest = misStages

@@ -1,8 +1,11 @@
-// Package core assembles the PowerMove compiler pipeline (Fig. 1b of the
-// paper) from its three components: the Stage Scheduler (internal/stage),
-// the Continuous Router (internal/router), and the Coll-Move Scheduler
-// (internal/collsched). Compile lowers a synthesized circuit to the
-// executable instruction stream of internal/isa.
+// Package core is the configuration front end of the PowerMove compiler
+// (Fig. 1b of the paper). The pass logic lives in internal/compiler's
+// zoned pipeline — validate → fuse? → place → per block:
+// stage-partition → stage-order? → per stage: route → group →
+// collsched-order? → batch → emit — and this package maps the public
+// Options onto a pipeline configuration, so every existing caller keeps
+// its API while both compilation schemes share one driver, one stats
+// type, and one per-pass observability path.
 //
 // Two modes mirror the paper's evaluation columns:
 //
@@ -17,18 +20,10 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-	"time"
 
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
-	"powermove/internal/collsched"
-	"powermove/internal/fuse"
-	"powermove/internal/isa"
-	"powermove/internal/layout"
-	"powermove/internal/move"
-	"powermove/internal/router"
-	"powermove/internal/stage"
+	"powermove/internal/compiler"
 )
 
 // Options configures one compilation.
@@ -53,9 +48,10 @@ type Options struct {
 	// DisableIntraStageOrder keeps Coll-Moves in grouping order even in
 	// with-storage mode. It exists for the ablation benches.
 	DisableIntraStageOrder bool
-	// Grouping selects the Coll-Move grouping heuristic; the zero value
-	// is the default displacement-bucketed grouping. The alternatives
-	// exist for the ablation benches.
+	// Grouping selects the Coll-Move grouping pass; the zero value is
+	// the default displacement-bucketed grouping. Out-of-range values
+	// are rejected by Compile (they used to silently select the
+	// default).
 	Grouping Grouping
 	// FuseBlocks runs the block-fusion pre-pass (internal/fuse):
 	// consecutive blocks with disjoint gate supports merge and share
@@ -80,105 +76,53 @@ const (
 	GroupingInOrder
 )
 
-// Stats summarizes the compiler's work on one circuit.
-type Stats struct {
-	// Blocks, Stages, Moves, CollMoves, and Batches count the pipeline
-	// products at each level.
-	Blocks, Stages, Moves, CollMoves, Batches int
-	// CompileTime is the wall-clock compilation duration.
-	CompileTime time.Duration
+// String returns the grouping's pass-registry name (see
+// compiler.GroupingNames); out-of-range values render as "grouping(n)",
+// which the registry rejects.
+func (g Grouping) String() string {
+	switch g {
+	case GroupingMerged:
+		return compiler.GroupingMerged
+	case GroupingDistance:
+		return compiler.GroupingDistance
+	case GroupingInOrder:
+		return compiler.GroupingInOrder
+	default:
+		return fmt.Sprintf("grouping(%d)", int(g))
+	}
 }
+
+// Stats is the shared compiler statistics type, including the per-pass
+// PassStats breakdown.
+type Stats = compiler.Stats
 
 // Result carries a compiled program together with the initial layout it
 // must be executed from.
-type Result struct {
-	Program *isa.Program
-	Initial *layout.Layout
-	Stats   Stats
+type Result = compiler.Result
+
+// Pipeline maps opts onto a validated zoned pass pipeline. Unknown
+// grouping values and out-of-range alphas are rejected here, before any
+// compilation work.
+func Pipeline(opts Options) (*compiler.Pipeline, error) {
+	return compiler.Zoned(compiler.ZonedConfig{
+		UseStorage:             opts.UseStorage,
+		Alpha:                  opts.Alpha,
+		RandomMover:            opts.RandomMover,
+		Seed:                   opts.Seed,
+		DisableStageOrder:      opts.DisableStageOrder,
+		DisableIntraStageOrder: opts.DisableIntraStageOrder,
+		Grouping:               opts.Grouping.String(),
+		FuseBlocks:             opts.FuseBlocks,
+	})
 }
 
 // Compile lowers circ for architecture a. The returned program starts from
 // Result.Initial: all qubits in storage (with-storage mode) or placed
 // row-major in the computation zone (non-storage mode).
 func Compile(circ *circuit.Circuit, a *arch.Arch, opts Options) (*Result, error) {
-	start := time.Now()
-	if err := circ.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	p, err := Pipeline(opts)
+	if err != nil {
+		return nil, err
 	}
-	alpha := opts.Alpha
-	if alpha == 0 {
-		alpha = stage.DefaultAlpha
-	}
-	if alpha <= 0 || alpha >= 1 {
-		return nil, fmt.Errorf("core: alpha %v outside (0, 1)", alpha)
-	}
-	if circ.Qubits > a.ComputeSites() {
-		return nil, fmt.Errorf("core: %d qubits exceed %d computation sites", circ.Qubits, a.ComputeSites())
-	}
-	if opts.UseStorage && circ.Qubits > a.StorageSites() {
-		return nil, fmt.Errorf("core: %d qubits exceed %d storage sites", circ.Qubits, a.StorageSites())
-	}
-	if opts.FuseBlocks {
-		circ = fuse.Circuit(circ, fuse.Options{})
-	}
-
-	initial := layout.New(a, circ.Qubits)
-	if opts.UseStorage {
-		initial.PlaceAll(arch.Storage)
-	} else {
-		initial.PlaceAll(arch.Compute)
-	}
-
-	l := initial.Clone()
-	var rng *rand.Rand
-	if opts.RandomMover {
-		rng = rand.New(rand.NewSource(opts.Seed))
-	}
-	prog := &isa.Program{Name: circ.Name, Qubits: circ.Qubits}
-	var stats Stats
-
-	stageID := 0
-	for bi := range circ.Blocks {
-		b := &circ.Blocks[bi]
-		stats.Blocks++
-		if b.OneQ > 0 {
-			prog.Instr = append(prog.Instr, isa.OneQLayer{Count: b.OneQ})
-		}
-		stages := stage.Partition(b.Gates)
-		if opts.UseStorage && !opts.DisableStageOrder {
-			stages = stage.Order(stages, alpha)
-		}
-		for _, st := range stages {
-			moves, err := router.Route(l, st, opts.UseStorage, rng)
-			if err != nil {
-				return nil, fmt.Errorf("core: block %d stage %d: %w", bi, stageID, err)
-			}
-			var groups []move.CollMove
-			switch opts.Grouping {
-			case GroupingDistance:
-				groups = move.GroupByDistance(moves)
-			case GroupingInOrder:
-				groups = move.GroupInOrder(moves)
-			default:
-				groups = move.Group(moves)
-			}
-			if opts.UseStorage && !opts.DisableIntraStageOrder {
-				groups = collsched.OrderByStorageFlow(groups)
-			}
-			batches := collsched.Batch(groups, a.AODs)
-			for _, batch := range batches {
-				prog.Instr = append(prog.Instr, batch)
-			}
-			prog.Instr = append(prog.Instr, isa.Rydberg{Stage: stageID, Pairs: st.Gates})
-
-			stats.Stages++
-			stats.Moves += len(moves)
-			stats.CollMoves += len(groups)
-			stats.Batches += len(batches)
-			stageID++
-		}
-	}
-
-	stats.CompileTime = time.Since(start)
-	return &Result{Program: prog, Initial: initial, Stats: stats}, nil
+	return p.Run(circ, a)
 }

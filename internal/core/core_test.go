@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"powermove/internal/arch"
@@ -154,6 +155,13 @@ func TestCompileRejections(t *testing.T) {
 	a := arch.New(arch.Config{Qubits: 10})
 	if _, err := Compile(c, a, Options{Alpha: 1.5}); err == nil {
 		t.Error("alpha out of range accepted")
+	}
+	// Out-of-range grouping values used to silently select the default;
+	// the pipeline registry rejects them with a descriptive error.
+	if _, err := Compile(c, a, Options{Grouping: Grouping(7)}); err == nil {
+		t.Error("out-of-range grouping accepted")
+	} else if !strings.Contains(err.Error(), "grouping(7)") {
+		t.Errorf("grouping error %q does not name the bad value", err)
 	}
 	small := arch.New(arch.Config{Qubits: 4})
 	if _, err := Compile(c, small, Options{}); err == nil {

@@ -1,6 +1,12 @@
-// Package enola reimplements the Enola baseline compiler the paper
-// compares against (Sec. 3), from its published description. Enola's
-// defining characteristics, and the source of its limitations, are:
+// Package enola is the configuration front end of the Enola baseline
+// compiler the paper compares against (Sec. 3), reimplemented from its
+// published description. The pass logic lives in internal/compiler's
+// enola pipeline — validate → place → per block: mis-stage → per stage:
+// route-home → group → batch → emit — over the same pass-manager driver
+// as the zoned PowerMove pipeline, so the two schemes share one Stats
+// type and one per-pass observability path and can no longer drift.
+//
+// Enola's defining characteristics, and the source of its limitations:
 //
 //   - Gate scheduling by iterated maximal-independent-set extraction on
 //     the gate conflict graph, with randomized restarts seeking large
@@ -16,18 +22,9 @@
 package enola
 
 import (
-	"fmt"
-	"math/rand"
-	"time"
-
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
-	"powermove/internal/collsched"
-	"powermove/internal/graphutil"
-	"powermove/internal/isa"
-	"powermove/internal/layout"
-	"powermove/internal/move"
-	"powermove/internal/stage"
+	"powermove/internal/compiler"
 )
 
 // Options configures the baseline.
@@ -42,171 +39,31 @@ type Options struct {
 	Seed int64
 }
 
-// MinRestarts is the floor on the instance-scaled restart count: each
-// stage extraction tries at least this many random greedy orders and
-// keeps the largest independent set found. The default effort is
-// max(MinRestarts, 2 * gates-in-block), approximating the scaling of the
-// original's Maximum-Independent-Set solver.
-const MinRestarts = 16
+// MinRestarts is the floor on the instance-scaled restart count; see
+// compiler.MinRestarts.
+const MinRestarts = compiler.MinRestarts
 
-// Stats summarizes one baseline compilation.
-type Stats struct {
-	Blocks, Stages, Moves, CollMoves, Batches int
-	CompileTime                               time.Duration
-}
+// Stats is the shared compiler statistics type; the baseline reports
+// through the same fields (and per-pass breakdown) as the zoned
+// pipeline.
+type Stats = compiler.Stats
 
 // Result carries the compiled baseline program and its home layout.
-type Result struct {
-	Program *isa.Program
-	Initial *layout.Layout
-	Stats   Stats
+type Result = compiler.Result
+
+// Pipeline maps opts onto a validated enola pass pipeline; negative
+// restart counts are rejected here.
+func Pipeline(opts Options) (*compiler.Pipeline, error) {
+	return compiler.Enola(compiler.EnolaConfig{Restarts: opts.Restarts, Seed: opts.Seed})
 }
 
 // Compile lowers circ with the Enola movement scheme on architecture a.
 // Only the computation zone of a is used; the program starts from and
 // returns to the row-major home layout after every stage.
 func Compile(circ *circuit.Circuit, a *arch.Arch, opts Options) (*Result, error) {
-	start := time.Now()
-	if err := circ.Validate(); err != nil {
-		return nil, fmt.Errorf("enola: %w", err)
+	p, err := Pipeline(opts)
+	if err != nil {
+		return nil, err
 	}
-	if circ.Qubits > a.ComputeSites() {
-		return nil, fmt.Errorf("enola: %d qubits exceed %d computation sites", circ.Qubits, a.ComputeSites())
-	}
-	if opts.Restarts < 0 {
-		return nil, fmt.Errorf("enola: negative restart count %d", opts.Restarts)
-	}
-
-	home := layout.New(a, circ.Qubits)
-	home.PlaceAll(arch.Compute)
-	rng := rand.New(rand.NewSource(opts.Seed))
-	prog := &isa.Program{Name: circ.Name, Qubits: circ.Qubits}
-	var stats Stats
-
-	stageID := 0
-	for bi := range circ.Blocks {
-		b := &circ.Blocks[bi]
-		stats.Blocks++
-		if b.OneQ > 0 {
-			prog.Instr = append(prog.Instr, isa.OneQLayer{Count: b.OneQ})
-		}
-		restarts := opts.Restarts
-		if restarts == 0 {
-			restarts = 2 * len(b.Gates)
-			if restarts < MinRestarts {
-				restarts = MinRestarts
-			}
-		}
-		for _, st := range misStages(b.Gates, restarts, rng) {
-			forward := stageMoves(home, st)
-			backward := reverse(forward)
-
-			outBatches := collsched.Batch(move.GroupInOrder(forward), a.AODs)
-			backBatches := collsched.Batch(move.GroupInOrder(backward), a.AODs)
-			for _, batch := range outBatches {
-				prog.Instr = append(prog.Instr, batch)
-			}
-			prog.Instr = append(prog.Instr, isa.Rydberg{Stage: stageID, Pairs: st.Gates})
-			for _, batch := range backBatches {
-				prog.Instr = append(prog.Instr, batch)
-			}
-
-			stats.Stages++
-			stats.Moves += len(forward) + len(backward)
-			stats.CollMoves += len(outBatches) + len(backBatches)
-			stats.Batches += len(outBatches) + len(backBatches)
-			stageID++
-		}
-	}
-
-	initial := layout.New(a, circ.Qubits)
-	initial.PlaceAll(arch.Compute)
-	stats.CompileTime = time.Since(start)
-	return &Result{Program: prog, Initial: initial, Stats: stats}, nil
-}
-
-// misStages partitions a commutable block into Rydberg stages by repeatedly
-// extracting a maximal independent set from the gate conflict graph. Each
-// extraction runs the deterministic min-residual-degree greedy plus the
-// configured number of random-permutation restarts and keeps the largest
-// set found, mirroring the baseline's quality-over-speed trade-off.
-func misStages(gates []circuit.CZ, restarts int, rng *rand.Rand) []stage.Stage {
-	if len(gates) == 0 {
-		return nil
-	}
-	g := stage.ConflictGraph(gates)
-	removed := make([]bool, len(gates))
-	remaining := len(gates)
-	var stages []stage.Stage
-	for remaining > 0 {
-		best := g.MaximalIndependentSet(removed)
-		for r := 0; r < restarts; r++ {
-			if cand := randomMIS(g, removed, rng); len(cand) > len(best) {
-				best = cand
-			}
-		}
-		st := stage.Stage{Gates: make([]circuit.CZ, 0, len(best))}
-		for _, gi := range best {
-			st.Gates = append(st.Gates, gates[gi])
-			removed[gi] = true
-		}
-		remaining -= len(best)
-		stages = append(stages, st)
-	}
-	return stages
-}
-
-// randomMIS builds a maximal independent set by scanning the unremoved
-// vertices in a random order and keeping each vertex compatible with the
-// set so far.
-func randomMIS(g *graphutil.Graph, removed []bool, rng *rand.Rand) []int {
-	order := rng.Perm(g.N())
-	taken := make([]bool, g.N())
-	var mis []int
-	for _, v := range order {
-		if removed[v] {
-			continue
-		}
-		ok := true
-		for _, u := range g.Adjacent(v) {
-			if taken[u] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			taken[v] = true
-			mis = append(mis, v)
-		}
-	}
-	return mis
-}
-
-// stageMoves produces the baseline's forward movement for one stage: the
-// lower-indexed qubit of each CZ pair travels to its partner's home site
-// (the relocation distance is symmetric, so the choice is a deterministic
-// convention). Home sites hold one qubit each, so the destination site
-// ends with exactly the interacting pair and no clustering arises.
-func stageMoves(home *layout.Layout, st stage.Stage) []move.Move {
-	a := home.Arch()
-	var moves []move.Move
-	for _, g := range st.Gates {
-		moves = append(moves, move.New(a, g.A, home.SiteOf(g.A), home.SiteOf(g.B)))
-	}
-	return moves
-}
-
-// reverse inverts a set of moves, sending each mover back home.
-func reverse(moves []move.Move) []move.Move {
-	out := make([]move.Move, len(moves))
-	for i, m := range moves {
-		out[i] = move.Move{
-			Qubit:    m.Qubit,
-			FromSite: m.ToSite,
-			ToSite:   m.FromSite,
-			From:     m.To,
-			To:       m.From,
-		}
-	}
-	return out
+	return p.Run(circ, a)
 }

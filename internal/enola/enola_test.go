@@ -1,14 +1,11 @@
 package enola
 
 import (
-	"math/rand"
 	"testing"
 
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
-	"powermove/internal/layout"
 	"powermove/internal/sim"
-	"powermove/internal/stage"
 	"powermove/internal/workload"
 )
 
@@ -97,56 +94,6 @@ func TestDoubleMovementVolume(t *testing.T) {
 	}
 }
 
-// TestMISStagesDisjointAndComplete validates the baseline's scheduler on
-// random commutable blocks.
-func TestMISStagesDisjointAndComplete(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
-	for trial := 0; trial < 40; trial++ {
-		n := 4 + rng.Intn(20)
-		var gates []circuit.CZ
-		seen := make(map[circuit.CZ]bool)
-		for k := 0; k < n; k++ {
-			a, b := rng.Intn(n), rng.Intn(n)
-			if a == b {
-				continue
-			}
-			g := circuit.NewCZ(a, b)
-			if !seen[g] {
-				seen[g] = true
-				gates = append(gates, g)
-			}
-		}
-		if len(gates) == 0 {
-			continue
-		}
-		stages := misStages(gates, 4, rng)
-		total := 0
-		for _, st := range stages {
-			if !st.Disjoint() {
-				t.Fatalf("trial %d: stage not disjoint", trial)
-			}
-			total += len(st.Gates)
-		}
-		if total != len(gates) {
-			t.Fatalf("trial %d: stages cover %d gates, want %d", trial, total, len(gates))
-		}
-	}
-}
-
-// TestMISFindsPerfectMatchingOnChain: with restarts, the baseline finds
-// the 2-stage schedule of a linear chain, matching its near-optimal
-// scheduling claim.
-func TestMISFindsPerfectMatchingOnChain(t *testing.T) {
-	var gates []circuit.CZ
-	for i := 0; i+1 < 20; i++ {
-		gates = append(gates, circuit.NewCZ(i, i+1))
-	}
-	stages := misStages(gates, 64, rand.New(rand.NewSource(1)))
-	if len(stages) > 3 {
-		t.Errorf("chain scheduled into %d stages, want <= 3", len(stages))
-	}
-}
-
 func TestDeterministicBySeed(t *testing.T) {
 	c := workload.QAOARegular(20, 3, 11)
 	a := arch.New(arch.Config{Qubits: 20})
@@ -184,21 +131,21 @@ func TestCompileRejections(t *testing.T) {
 	}
 }
 
-// TestStageMoves: the lower-indexed qubit travels to its partner's home.
-func TestStageMoves(t *testing.T) {
-	a := arch.New(arch.Config{Qubits: 4})
-	l := layout.New(a, 4)
-	l.PlaceAll(arch.Compute)
-	st := stage.Stage{Gates: []circuit.CZ{circuit.NewCZ(2, 0)}}
-	moves := stageMoves(l, st)
-	if len(moves) != 1 {
-		t.Fatalf("%d moves, want 1", len(moves))
+// TestPassBreakdown: the baseline reports through the shared compiler
+// stats type, including a per-pass breakdown whose counters agree with
+// the aggregate Stats.
+func TestPassBreakdown(t *testing.T) {
+	c := workload.QAOARegular(16, 3, 5)
+	a := arch.New(arch.Config{Qubits: 16})
+	res, err := Compile(c, a, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if moves[0].Qubit != 0 || moves[0].ToSite != l.SiteOf(2) {
-		t.Errorf("move = %v, want q0 -> site of q2", moves[0])
+	var moves int64
+	for _, p := range res.Stats.Passes {
+		moves += p.Counters["moves"]
 	}
-	rev := reverse(moves)
-	if rev[0].FromSite != moves[0].ToSite || rev[0].ToSite != moves[0].FromSite {
-		t.Error("reverse did not invert endpoints")
+	if moves != int64(res.Stats.Moves) {
+		t.Errorf("per-pass move counters sum to %d, Stats.Moves = %d", moves, res.Stats.Moves)
 	}
 }

@@ -141,12 +141,14 @@ type RowResult struct {
 	WithStorage SchemeResult
 }
 
-// Stabilize zeroes the row's measured wall-clock fields — the only
-// nondeterministic part of a row — so documents built from it are
-// byte-identical across runs and worker counts. Every front end's
-// "stable" mode routes through here.
+// Stabilize zeroes the row's measured wall-clock fields — the compile
+// times and per-pass durations, the only nondeterministic part of a row
+// — so documents built from it are byte-identical across runs and
+// worker counts. Every front end's "stable" mode routes through here.
 func (r *RowResult) Stabilize() {
-	r.Enola.Tcomp, r.NonStorage.Tcomp, r.WithStorage.Tcomp = 0, 0, 0
+	r.Enola.Stabilize()
+	r.NonStorage.Stabilize()
+	r.WithStorage.Stabilize()
 }
 
 // FidelityImprovement returns the paper's "Fidelity Improv." column:

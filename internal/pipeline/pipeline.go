@@ -28,11 +28,8 @@ import (
 	"powermove/internal/arch"
 	"powermove/internal/cache"
 	"powermove/internal/circuit"
-	"powermove/internal/core"
-	"powermove/internal/enola"
+	"powermove/internal/compiler"
 	"powermove/internal/fidelity"
-	"powermove/internal/isa"
-	"powermove/internal/layout"
 	"powermove/internal/sim"
 )
 
@@ -63,10 +60,25 @@ type Key struct {
 	Scheme Scheme
 	// AODs is the number of AOD arrays of the target architecture.
 	AODs int
+	// Grouping optionally substitutes the zoned pipeline's Coll-Move
+	// grouping pass (a compiler.GroupingNames name); empty selects the
+	// default. It is part of the key because it changes the compiled
+	// program. The engine canonicalizes an explicit default to the
+	// empty name before caching, so "merged" and "" share one entry
+	// (Result.Key reports the canonical form). Ignored by the enola
+	// scheme.
+	Grouping string
 }
 
-// String renders the key as "bench/scheme/kaod".
-func (k Key) String() string { return fmt.Sprintf("%s/%s/%daod", k.Bench, k.Scheme, k.AODs) }
+// String renders the key as "bench/scheme/kaod", with a "/grouping"
+// suffix when a non-default grouping pass is selected.
+func (k Key) String() string {
+	s := fmt.Sprintf("%s/%s/%daod", k.Bench, k.Scheme, k.AODs)
+	if k.Grouping != "" {
+		s += "/" + k.Grouping
+	}
+	return s
+}
 
 // Job is one unit of batch work: generate a circuit, build the target
 // hardware, compile with the key's scheme, and simulate the result.
@@ -108,6 +120,21 @@ type Outcome struct {
 	Stages int
 	// Moves is the number of executed 1Q relocations.
 	Moves int
+	// Passes is the compiler's per-pass breakdown: self-time, call
+	// counts, and counter deltas per pass (see compiler.PassStats).
+	// Calls and counters are deterministic functions of the key;
+	// durations are measured wall clock and vary run to run.
+	Passes compiler.PassStats `json:"Passes,omitempty"`
+}
+
+// Stabilize zeroes the outcome's measured wall-clock fields — the
+// compile time and the per-pass durations — so documents built from it
+// are byte-identical across runs and worker counts. The per-pass
+// breakdown is dropped entirely (not just zeroed) to keep stable
+// documents identical to their pre-breakdown form.
+func (o *Outcome) Stabilize() {
+	o.Tcomp = 0
+	o.Passes = nil
 }
 
 // Result pairs a job's outcome with its engine-level accounting.
@@ -317,6 +344,10 @@ func FirstError(results []Result) error {
 
 func runJob(job Job, cache *Cache, compiles, hits *atomic.Int64) Result {
 	jobStart := time.Now()
+	// Canonicalize the cache identity here, at the one point every
+	// entry point funnels through, so a job naming the default grouping
+	// explicitly shares the default's cache entry and result key.
+	job.Key.Grouping = compiler.NormalizeGrouping(job.Key.Grouping)
 	outcome, err, hit := cache.getOrCompute(job.Key, func() (Outcome, error) {
 		compiles.Add(1)
 		return execute(job)
@@ -333,8 +364,8 @@ func runJob(job Job, cache *Cache, compiles, hits *atomic.Int64) Result {
 	}
 }
 
-// execute runs one job end to end: generate, compile with the key's
-// scheme, simulate.
+// execute runs one job end to end: generate, build the key's pipeline
+// on the shared pass-manager driver, compile, simulate.
 func execute(job Job) (Outcome, error) {
 	circ, err := job.Circuit()
 	if err != nil {
@@ -342,22 +373,32 @@ func execute(job Job) (Outcome, error) {
 	}
 	hw := defaultArch(job, circ)
 
-	switch job.Key.Scheme {
+	p, err := pipelineFor(job.Key)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := p.Run(circ, hw)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return simulate(res)
+}
+
+// pipelineFor builds the validated pass pipeline a key selects. Both
+// schemes run through internal/compiler's shared driver; the key's
+// grouping name substitutes the zoned grouping pass.
+func pipelineFor(key Key) (*compiler.Pipeline, error) {
+	switch key.Scheme {
 	case Enola:
-		res, err := enola.Compile(circ, hw, enola.Options{Seed: 1})
-		if err != nil {
-			return Outcome{}, err
-		}
-		return simulate(res.Program, res.Initial, res.Stats.CompileTime, res.Stats.Moves)
+		return compiler.Enola(compiler.EnolaConfig{Seed: 1})
 	case NonStorage, WithStorage:
-		opts := core.Options{UseStorage: job.Key.Scheme == WithStorage, Seed: 1}
-		res, err := core.Compile(circ, hw, opts)
-		if err != nil {
-			return Outcome{}, err
-		}
-		return simulate(res.Program, res.Initial, res.Stats.CompileTime, res.Stats.Moves)
+		return compiler.Zoned(compiler.ZonedConfig{
+			UseStorage: key.Scheme == WithStorage,
+			Seed:       1,
+			Grouping:   key.Grouping,
+		})
 	default:
-		return Outcome{}, fmt.Errorf("unknown scheme %q", job.Key.Scheme)
+		return nil, fmt.Errorf("unknown scheme %q", key.Scheme)
 	}
 }
 
@@ -368,8 +409,8 @@ func defaultArch(job Job, circ *circuit.Circuit) *arch.Arch {
 	return arch.New(arch.Config{Qubits: circ.Qubits, AODs: job.Key.AODs})
 }
 
-func simulate(prog *isa.Program, initial *layout.Layout, tcomp time.Duration, moves int) (Outcome, error) {
-	exec, err := sim.Execute(prog, initial)
+func simulate(res *compiler.Result) (Outcome, error) {
+	exec, err := sim.Execute(res.Program, res.Initial)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -377,8 +418,9 @@ func simulate(prog *isa.Program, initial *layout.Layout, tcomp time.Duration, mo
 		Fidelity:   exec.Fidelity,
 		Components: exec.Components,
 		Texe:       exec.Time,
-		Tcomp:      tcomp,
+		Tcomp:      res.Stats.CompileTime,
 		Stages:     exec.Stages,
-		Moves:      moves,
+		Moves:      res.Stats.Moves,
+		Passes:     res.Stats.Passes,
 	}, nil
 }

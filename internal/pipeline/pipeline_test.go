@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -35,7 +36,7 @@ func canonical(t *testing.T, results []pipeline.Result) string {
 	t.Helper()
 	var b []byte
 	for _, r := range results {
-		r.Outcome.Tcomp = 0
+		r.Outcome.Stabilize()
 		r.Elapsed = 0
 		r.Cached = false
 		enc, err := json.Marshal(r)
@@ -105,7 +106,10 @@ func TestCacheAccounting(t *testing.T) {
 		if first.Key != second.Key {
 			t.Fatalf("result order broken at %d", i)
 		}
-		if first.Outcome != second.Outcome {
+		a, b := first.Outcome, second.Outcome
+		a.Stabilize()
+		b.Stabilize()
+		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: duplicate jobs disagree", first.Key)
 		}
 	}
@@ -275,6 +279,43 @@ func TestKeyString(t *testing.T) {
 	}
 	if fmt.Sprint(k) != k.String() {
 		t.Error("Key does not print via String")
+	}
+}
+
+// TestGroupingKey: a non-default grouping changes the cache identity
+// and the key rendering, while an explicit "merged" canonicalizes onto
+// the default's cache entry at the engine layer — whatever front end
+// built the job.
+func TestGroupingKey(t *testing.T) {
+	gen := func() (*circuit.Circuit, error) {
+		c := circuit.New("tiny", 4)
+		c.AddBlock(0, circuit.NewCZ(0, 1), circuit.NewCZ(2, 3))
+		return c, nil
+	}
+	base := pipeline.NewJob("tiny", pipeline.WithStorage, 1, gen)
+	merged := base
+	merged.Key.Grouping = "merged"
+	inOrder := base
+	inOrder.Key.Grouping = "in-order"
+
+	cache := pipeline.NewCache()
+	results, stats, err := pipeline.Run(context.Background(), []pipeline.Job{base, merged, inOrder},
+		pipeline.Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compiles != 2 || stats.CacheHits != 1 {
+		t.Errorf("compiles = %d, hits = %d; want 2 compiles (default + in-order) and 1 hit (explicit merged)",
+			stats.Compiles, stats.CacheHits)
+	}
+	if results[1].Key.Grouping != "" {
+		t.Errorf("explicit merged reported key grouping %q, want canonical empty", results[1].Key.Grouping)
+	}
+	if got, want := results[2].Key.String(), "tiny/with-storage/1aod/in-order"; got != want {
+		t.Errorf("grouped key renders %q, want %q", got, want)
 	}
 }
 

@@ -65,6 +65,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		`{not json`,
 		`{"workload":{"family":"QFT","qubits":6},"wat":1}`,
 		`{"workload":{"family":"QFT","qubits":6},"scheme":"turbo"}`,
+		`{"workload":{"family":"QFT","qubits":6},"grouping":"turbo"}`,
 		`{}`,
 	} {
 		code, body := post("/v1/compile", bad)
@@ -97,8 +98,11 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Errorf("metrics cache = %+v, want at least one hit", m.Cache)
 	}
 	ep := m.Endpoints["compile"]
-	if ep.Requests != 6 || ep.Errors != 4 {
-		t.Errorf("compile endpoint ledger = %+v, want 6 requests / 4 errors", ep)
+	if ep.Requests != 7 || ep.Errors != 5 {
+		t.Errorf("compile endpoint ledger = %+v, want 7 requests / 5 errors", ep)
+	}
+	if m.Passes["route"].Calls == 0 {
+		t.Errorf("metrics pass ledger missing route: %+v", m.Passes)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"powermove/internal/cache"
+	"powermove/internal/compiler"
 )
 
 // endpointMetrics accumulates per-endpoint request counts and latency
@@ -67,6 +68,74 @@ func (em *endpointMetrics) snapshot() map[string]EndpointStats {
 	return out
 }
 
+// PassMetrics is the cumulative accounting of one compiler pass across
+// every fresh compile the server has executed (compile, batch, and
+// experiment requests alike; cache hits don't recount the compile that
+// produced them). Calls and counters are monotone non-decreasing, so
+// two scrapes bracket the pass-level work a request caused.
+type PassMetrics struct {
+	// Calls counts pass invocations (stage-level passes run once per
+	// stage of every compiled circuit).
+	Calls int64 `json:"calls"`
+	// TotalMS is cumulative pass self-time.
+	TotalMS float64 `json:"total_ms"`
+	// Counters accumulates the pass's Stats counter deltas, e.g.
+	// {"moves": N} for the routing pass.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// passLedger accumulates per-pass breakdowns under one small mutex,
+// keyed by pass name.
+type passLedger struct {
+	mu sync.Mutex
+	m  map[string]*PassMetrics
+}
+
+// observe folds one compile's breakdown into the ledger.
+func (pl *passLedger) observe(ps compiler.PassStats) {
+	if len(ps) == 0 {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.m == nil {
+		pl.m = make(map[string]*PassMetrics)
+	}
+	for _, p := range ps {
+		st := pl.m[p.Pass]
+		if st == nil {
+			st = &PassMetrics{}
+			pl.m[p.Pass] = st
+		}
+		st.Calls += int64(p.Calls)
+		st.TotalMS += float64(p.Duration) / float64(time.Millisecond)
+		for k, v := range p.Counters {
+			if st.Counters == nil {
+				st.Counters = make(map[string]int64, len(p.Counters))
+			}
+			st.Counters[k] += v
+		}
+	}
+}
+
+// snapshot deep-copies the ledger.
+func (pl *passLedger) snapshot() map[string]PassMetrics {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := make(map[string]PassMetrics, len(pl.m))
+	for k, st := range pl.m {
+		s := *st
+		if len(st.Counters) > 0 {
+			s.Counters = make(map[string]int64, len(st.Counters))
+			for ck, cv := range st.Counters {
+				s.Counters[ck] = cv
+			}
+		}
+		out[k] = s
+	}
+	return out
+}
+
 // MemCounters is the allocation side of /metrics, read from
 // runtime.MemStats at snapshot time. The compile hot path was tuned to
 // run allocation-free (pooled router scratch, bitset sets, reused
@@ -108,6 +177,9 @@ type MetricsSnapshot struct {
 	Mem MemCounters `json:"mem"`
 	// Endpoints is the per-endpoint request/latency ledger.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Passes is the cumulative per-compiler-pass time/counter ledger
+	// across every fresh compile the server has executed.
+	Passes map[string]PassMetrics `json:"passes"`
 }
 
 // Metrics returns a snapshot of the server's accounting.
@@ -129,5 +201,6 @@ func (s *Server) Metrics() MetricsSnapshot {
 			PauseTotalMS:    float64(ms.PauseTotalNs) / 1e6,
 		},
 		Endpoints: s.endpoints.snapshot(),
+		Passes:    s.passes.snapshot(),
 	}
 }

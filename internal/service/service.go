@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"powermove/internal/circuit"
+	"powermove/internal/compiler"
 	"powermove/internal/experiments"
 	"powermove/internal/fidelity"
 	"powermove/internal/pipeline"
@@ -66,6 +67,7 @@ type Server struct {
 
 	compiles  atomic.Int64
 	endpoints endpointMetrics
+	passes    passLedger
 }
 
 // New returns a ready Server.
@@ -100,6 +102,11 @@ type CompileRequest struct {
 	// AODs is the number of AOD arrays of the target architecture;
 	// 0 defaults to 1.
 	AODs int `json:"aods,omitempty"`
+	// Grouping optionally substitutes the zoned pipeline's Coll-Move
+	// grouping pass: "merged" (the default), "distance", or "in-order"
+	// (compiler.GroupingNames). Unknown names are rejected as 400s;
+	// the enola baseline has a fixed grouping and rejects the field.
+	Grouping string `json:"grouping,omitempty"`
 	// Stable zeroes the measured wall-clock fields of the response so
 	// repeated requests (and the CLI's -json -stable mode) are
 	// byte-identical.
@@ -144,6 +151,13 @@ type CompileResponse struct {
 	// Stages and Moves count Rydberg pulses and executed relocations.
 	Stages int `json:"stages"`
 	Moves  int `json:"moves"`
+	// Grouping echoes the non-default grouping pass of the request.
+	Grouping string `json:"grouping,omitempty"`
+	// Passes is the compiler's per-pass breakdown for this evaluation
+	// point: self-time, call counts, and counter deltas per pass. The
+	// durations are zeroed under Stable and on cache hits (calls and
+	// counters are deterministic).
+	Passes compiler.PassStats `json:"passes,omitempty"`
 	// Cached reports whether the outcome came from the shared cache (or
 	// an in-flight identical request) rather than a fresh compile.
 	Cached bool `json:"cached"`
@@ -180,6 +194,21 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 	if scheme == pipeline.Enola && aods != 1 {
 		return nil, fmt.Errorf("the enola baseline is single-AOD; got aods = %d", aods)
 	}
+	// The enola rejection must see the raw field — an explicit "merged"
+	// is still a grouping request the baseline can't honor — and only
+	// then does the name validate and normalize (an explicit default
+	// collapses to the empty name so it shares the default's cache
+	// entry; the engine normalizes again for direct job builders).
+	grouping := req.Grouping
+	if grouping != "" {
+		if scheme == pipeline.Enola {
+			return nil, fmt.Errorf("the enola baseline has a fixed grouping; drop the grouping field")
+		}
+		if err := compiler.ValidateGrouping(grouping); err != nil {
+			return nil, err
+		}
+		grouping = compiler.NormalizeGrouping(grouping)
+	}
 
 	switch {
 	case req.QASM != "" && req.Workload != nil:
@@ -192,8 +221,10 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 			return nil, fmt.Errorf("qasm: %w", err)
 		}
 		circ := prog.Circuit
+		job := pipeline.NewJob(bench, scheme, aods, func() (*circuit.Circuit, error) { return circ, nil })
+		job.Key.Grouping = grouping
 		return &compileSpec{
-			job:    pipeline.NewJob(bench, scheme, aods, func() (*circuit.Circuit, error) { return circ, nil }),
+			job:    job,
 			qubits: circ.Qubits,
 			stable: req.Stable,
 		}, nil
@@ -213,8 +244,10 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 			bench = fmt.Sprintf("%s@%d", bench, seed)
 			gen = func() (*circuit.Circuit, error) { return seededCircuit(spec.Family, w.Qubits, seed) }
 		}
+		job := pipeline.NewJob(bench, scheme, aods, gen)
+		job.Key.Grouping = grouping
 		return &compileSpec{
-			job:    pipeline.NewJob(bench, scheme, aods, gen),
+			job:    job,
 			qubits: w.Qubits,
 			stable: req.Stable,
 		}, nil
@@ -282,6 +315,9 @@ func (s *Server) Compile(ctx context.Context, req *CompileRequest) (*CompileResp
 		if result.Err != nil {
 			return nil, result.Err
 		}
+		if !result.Cached {
+			s.passes.observe(result.Outcome.Passes)
+		}
 		return s.response(spec, result), nil
 	})
 	if err != nil {
@@ -289,10 +325,12 @@ func (s *Server) Compile(ctx context.Context, req *CompileRequest) (*CompileResp
 	}
 	if joined {
 		// The joiner shares the leader's outcome on a copy: its own
-		// request never compiled, which is what Cached reports.
+		// request never compiled, which is what Cached (and the zeroed
+		// wall-clock fields) report.
 		shared := *resp
 		shared.Cached = true
 		shared.TcompMS = 0
+		shared.Passes = shared.Passes.Stabilized()
 		return &shared, nil
 	}
 	return resp, nil
@@ -322,10 +360,13 @@ func (s *Server) response(spec *compileSpec, r pipeline.Result) *CompileResponse
 		TcompMS:    float64(r.Outcome.Tcomp) / float64(time.Millisecond),
 		Stages:     r.Outcome.Stages,
 		Moves:      r.Outcome.Moves,
+		Grouping:   r.Key.Grouping,
+		Passes:     r.Outcome.Passes,
 		Cached:     r.Cached,
 	}
 	if spec.stable || r.Cached {
 		resp.TcompMS = 0
+		resp.Passes = resp.Passes.Stabilized()
 	}
 	return resp
 }
@@ -386,6 +427,14 @@ func (s *Server) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 		}
 		stats = st
 		s.compiles.Add(int64(st.Compiles))
+		// The raw Cached flags (pre-normalization) identify the items
+		// that actually compiled, whose pass breakdowns feed the
+		// cumulative /metrics ledger.
+		for _, r := range results {
+			if r.Err == nil && !r.Cached {
+				s.passes.observe(r.Outcome.Passes)
+			}
+		}
 		// Which duplicate of a key actually compiled is a scheduling
 		// race inside the engine, so the raw Cached flags would make
 		// stable batch documents flip run to run. Normalize them to
@@ -437,7 +486,16 @@ type ExperimentDoc struct {
 // previous call) are served from cache. Stable zeroes the wall-clock
 // fields for reproducible output.
 func (s *Server) Experiment(ctx context.Context, kind, id string, stable bool) (*ExperimentDoc, error) {
-	rn := &experiments.Runner{Jobs: s.workers, Cache: s.cache, Sem: s.sem}
+	rn := &experiments.Runner{Jobs: s.workers, Cache: s.cache, Sem: s.sem,
+		// Stream completions into the cumulative per-pass ledger;
+		// cache hits carry a breakdown already accounted for by the
+		// compile that produced them.
+		OnResult: func(done, total int, r pipeline.Result) {
+			if r.Err == nil && !r.Cached {
+				s.passes.observe(r.Outcome.Passes)
+			}
+		},
+	}
 	start := time.Now()
 	doc := &ExperimentDoc{Stable: stable, Workers: s.workers}
 	switch {
@@ -463,7 +521,7 @@ func (s *Server) Experiment(ctx context.Context, kind, id string, stable bool) (
 		}
 		if stable {
 			for i := range points {
-				points[i].Result.Tcomp = 0
+				points[i].Result.Stabilize()
 			}
 		}
 		doc.Figure = points

@@ -179,6 +179,9 @@ func TestValidation(t *testing.T) {
 		{"unknown family", CompileRequest{Workload: &WorkloadSpec{Family: "nope", Qubits: 4}}},
 		{"tiny workload", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 1}}},
 		{"bad qasm", CompileRequest{QASM: "OPENQASM 3.0;"}},
+		{"unknown grouping", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Grouping: "turbo"}},
+		{"enola grouping", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Scheme: "enola", Grouping: "distance"}},
+		{"enola grouping merged", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Scheme: "enola", Grouping: "merged"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -191,6 +194,101 @@ func TestValidation(t *testing.T) {
 				t.Fatalf("error %v is not a RequestError", err)
 			}
 		})
+	}
+}
+
+// TestPassBreakdownAndLedger: responses carry the compiler's per-pass
+// breakdown (durations zeroed under Stable, calls/counters intact), and
+// every fresh compile advances the cumulative /metrics pass ledger
+// monotonically while cache hits leave it unchanged.
+func TestPassBreakdownAndLedger(t *testing.T) {
+	s := New(Config{Workers: 2})
+	resp, err := s.Compile(context.Background(), qftRequest(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Passes) == 0 {
+		t.Fatal("compile response has no pass breakdown")
+	}
+	byName := map[string]int{}
+	for _, p := range resp.Passes {
+		if p.Duration != 0 {
+			t.Errorf("stable response carries a non-zero duration for pass %q", p.Pass)
+		}
+		byName[p.Pass] = p.Calls
+	}
+	if byName["route"] != resp.Stages {
+		t.Errorf("route calls = %d, response reports %d stages", byName["route"], resp.Stages)
+	}
+
+	first := s.Metrics().Passes
+	if len(first) == 0 {
+		t.Fatal("metrics pass ledger empty after a compile")
+	}
+	if first["route"].Counters["moves"] != int64(resp.Moves) {
+		t.Errorf("ledger route moves = %d, response reports %d", first["route"].Counters["moves"], resp.Moves)
+	}
+
+	// A cache hit must not recount the compile that produced it.
+	if _, err := s.Compile(context.Background(), qftRequest(6)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Metrics().Passes
+	if after["route"].Calls != first["route"].Calls {
+		t.Errorf("cache hit advanced the ledger: %d -> %d route calls", first["route"].Calls, after["route"].Calls)
+	}
+
+	// A fresh point advances every touched pass monotonically.
+	if _, err := s.Compile(context.Background(), qftRequest(8)); err != nil {
+		t.Fatal(err)
+	}
+	grown := s.Metrics().Passes
+	for name, before := range first {
+		now := grown[name]
+		if now.Calls < before.Calls || now.TotalMS < before.TotalMS {
+			t.Errorf("pass %q regressed: %+v -> %+v", name, before, now)
+		}
+		for k, v := range before.Counters {
+			if now.Counters[k] < v {
+				t.Errorf("pass %q counter %q regressed: %d -> %d", name, k, v, now.Counters[k])
+			}
+		}
+	}
+}
+
+// TestGroupingSubstitution: the grouping field swaps the zoned grouping
+// pass, is part of the cache identity, and echoes in the response.
+func TestGroupingSubstitution(t *testing.T) {
+	s := New(Config{Workers: 2})
+	base, err := s.Compile(context.Background(), qftRequest(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := qftRequest(6)
+	req.Grouping = "in-order"
+	alt, err := s.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Cached {
+		t.Error("non-default grouping was served from the default's cache entry")
+	}
+	if alt.Grouping != "in-order" {
+		t.Errorf("response grouping = %q, want in-order", alt.Grouping)
+	}
+	if base.Grouping != "" {
+		t.Errorf("default response grouping = %q, want empty", base.Grouping)
+	}
+
+	// An explicit "merged" is the default and shares its cache entry.
+	req = qftRequest(6)
+	req.Grouping = "merged"
+	merged, err := s.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Cached {
+		t.Error(`explicit "merged" did not normalize onto the default cache entry`)
 	}
 }
 

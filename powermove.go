@@ -31,6 +31,7 @@ import (
 
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
+	"powermove/internal/compiler"
 	"powermove/internal/core"
 	"powermove/internal/enola"
 	"powermove/internal/isa"
@@ -67,6 +68,14 @@ type (
 	CompileResult = core.Result
 	// EnolaOptions configures the Enola baseline compiler.
 	EnolaOptions = enola.Options
+	// Stats is the shared compiler statistics type of both schemes,
+	// including the per-pass PassStats breakdown.
+	Stats = compiler.Stats
+	// PassStats is a compilation's per-pass breakdown: self-time, call
+	// counts, and counter deltas per compiler pass, in execution order.
+	PassStats = compiler.PassStats
+	// PassStat is one pass's accounting within a PassStats breakdown.
+	PassStat = compiler.PassStat
 )
 
 // NewCircuit returns an empty circuit on n qubits; add blocks with

@@ -36,6 +36,14 @@ curl -fsS -X POST "http://$ADDR/v1/compile" \
 cmp "$TMP/svc.json" "$TMP/cli.json"
 echo "service_smoke: daemon and CLI documents are byte-identical"
 
+# The compile response must carry the compiler's per-pass breakdown.
+grep -q '"passes"' "$TMP/svc.json"
+grep -q '"pass": "route"' "$TMP/svc.json"
+grep -q '"pass": "emit"' "$TMP/svc.json"
+echo "service_smoke: compile response carries the per-pass breakdown"
+
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics1.json"
+
 curl -fsS -X POST "http://$ADDR/v1/compile" \
   -H 'Content-Type: application/json' -d "$REQ" > "$TMP/svc2.json"
 grep -q '"cached": true' "$TMP/svc2.json"
@@ -45,5 +53,34 @@ grep -q '"hits": 1' "$TMP/metrics.json"
 grep -q '"misses": 1' "$TMP/metrics.json"
 grep -q '"compiles": 1' "$TMP/metrics.json"
 echo "service_smoke: repeat request was a cache hit (1 hit / 1 miss / 1 compile)"
+
+# A second, fresh evaluation point must advance the /metrics per-pass
+# ledger; the cached repeat above must not have moved it. Verify the
+# counters are monotone non-decreasing across the scrapes and strictly
+# grow over a fresh compile.
+REQ2='{"workload":{"family":"QFT","qubits":20},"scheme":"with-storage","aods":1,"stable":true}'
+curl -fsS -X POST "http://$ADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d "$REQ2" > "$TMP/svc3.json"
+grep -q '"cached": false' "$TMP/svc3.json"
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics2.json"
+
+python3 - "$TMP/metrics1.json" "$TMP/metrics.json" "$TMP/metrics2.json" <<'EOF'
+import json, sys
+
+scrapes = [json.load(open(p))["passes"] for p in sys.argv[1:]]
+first, cached, grown = scrapes
+if not first:
+    sys.exit("per-pass ledger empty after the first compile")
+for name, before in first.items():
+    if cached[name] != before:
+        sys.exit(f"cache hit moved the pass ledger for {name}: {before} -> {cached[name]}")
+    now = grown[name]
+    if now["calls"] <= before["calls"] or now["total_ms"] < before["total_ms"]:
+        sys.exit(f"pass {name} did not advance over a fresh compile: {before} -> {now}")
+    for k, v in before.get("counters", {}).items():
+        if now["counters"][k] < v:
+            sys.exit(f"pass {name} counter {k} regressed: {v} -> {now['counters'][k]}")
+print("service_smoke: /metrics per-pass counters are monotone across requests")
+EOF
 
 echo "service_smoke: PASS"
