@@ -12,6 +12,10 @@
 //	experiments -figure 6b..6e      # remaining Fig. 6 panels
 //	experiments -figure 7           # multi-AOD sweep
 //	experiments -all                # everything, in paper order
+//	experiments -verify             # verification sweep: every family x
+//	                                # every pipeline through the
+//	                                # differential verifier (non-zero exit
+//	                                # on any violation)
 //	experiments -jobs 8             # compile on 8 workers (default GOMAXPROCS)
 //	experiments -csv                # emit CSV instead of aligned text
 //	experiments -json               # emit one JSON document instead of text
@@ -51,6 +55,7 @@ func main() {
 	var (
 		table      = flag.String("table", "", "regenerate a table: 1, 2, or 3")
 		figure     = flag.String("figure", "", "regenerate a figure: 6a, 6b, 6c, 6d, 6e, or 7")
+		verifyRun  = flag.Bool("verify", false, "run the verification sweep: every workload family x every pipeline through the differential verifier; exits non-zero on any violation")
 		summary    = flag.Bool("summary", false, "with -table 3: also print the Sec. 7.2 aggregate claims")
 		all        = flag.Bool("all", false, "regenerate every table and figure")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -63,7 +68,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == "" && *figure == "" {
+	if !*all && !*verifyRun && *table == "" && *figure == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -184,6 +189,17 @@ func main() {
 		}
 	}
 
+	var verifyErr error
+	if *verifyRun {
+		points, err := runner.VerifySweep(ctx)
+		fail(err)
+		out.Verify = points
+		emit(experiments.VerifySweepTable(points))
+		// Surface the sweep table (and the JSON document, below) before
+		// failing, so the report shows which points broke.
+		verifyErr = experiments.VerifySweepErr(points)
+	}
+
 	stats := runner.Stats()
 	if stats.Jobs > 0 {
 		fmt.Fprintf(os.Stderr, "pipeline: %d jobs on %d workers: %d compiled, %d cache hits, %s\n",
@@ -200,6 +216,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		fail(enc.Encode(out))
 	}
+	fail(verifyErr)
 }
 
 // document is the -json output: every requested table and figure plus the
@@ -211,6 +228,7 @@ type document struct {
 	Summary *report.Table                         `json:"summary,omitempty"`
 	Figure6 map[string][]experiments.Figure6Point `json:"figure6,omitempty"`
 	Figure7 []experiments.Figure7Point            `json:"figure7,omitempty"`
+	Verify  []experiments.VerifyPoint             `json:"verify,omitempty"`
 	Stats   *pipeline.Stats                       `json:"stats,omitempty"`
 }
 

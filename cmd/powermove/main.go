@@ -7,7 +7,10 @@
 //	powermove -bench QAOA-regular3 -n 30
 //
 // Flags select the pipeline mode (-storage), AOD count (-aods), a baseline
-// comparison (-baseline), and a full instruction listing (-disasm).
+// comparison (-baseline), a full instruction listing (-disasm), and
+// differential verification of the compiled program (-verify: physical
+// legality checker + semantic equivalence oracle, non-zero exit on any
+// violation).
 package main
 
 import (
@@ -37,11 +40,12 @@ func main() {
 		layouts  = flag.Bool("layouts", false, "print the initial and final qubit layouts")
 		jsonOut  = flag.Bool("json", false, "emit the compile-service JSON document instead of text (byte-identical to powermoved's /v1/compile response for the same request)")
 		stable   = flag.Bool("stable", false, "with -json: omit measured wall-clock fields so output is byte-identical across runs")
+		verify   = flag.Bool("verify", false, "run the differential verifier (physical legality checker + semantic equivalence oracle) and fail on any violation")
 	)
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runJSON(*qasmPath, *bench, *n, *seed, *storage, *aods, *stable); err != nil {
+		if err := runJSON(*qasmPath, *bench, *n, *seed, *storage, *aods, *stable, *verify); err != nil {
 			fail(err)
 		}
 		return
@@ -61,6 +65,13 @@ func main() {
 	}
 	fmt.Printf("\npowermove (storage=%v, %d AOD):\n", *storage, *aods)
 	printRun(run)
+	if *verify {
+		rep := powermove.Verify(circ, run.Compile)
+		fmt.Printf("\n%s\n", rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	}
 	if *timings {
 		fmt.Println()
 		printPasses(run.Compile.Stats.Passes)
@@ -107,11 +118,12 @@ func main() {
 // request on a cold cache. Named benchmarks compile the paper instance
 // (spec-derived seed) unless -seed was given explicitly on the command
 // line, matching a workload request without/with a "seed" field.
-func runJSON(qasmPath, bench string, n int, seed int64, storage bool, aods int, stable bool) error {
+func runJSON(qasmPath, bench string, n int, seed int64, storage bool, aods int, stable, verify bool) error {
 	req := powermove.ServiceCompileRequest{
 		Scheme: "non-storage",
 		AODs:   aods,
 		Stable: stable,
+		Verify: verify,
 	}
 	if storage {
 		req.Scheme = "with-storage"

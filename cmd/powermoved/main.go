@@ -8,7 +8,8 @@
 //
 // Endpoints:
 //
-//	POST /v1/compile                  compile one circuit (QASM or workload)
+//	POST /v1/compile                  compile one circuit (QASM or workload;
+//	                                  ?verify=1 runs the differential verifier)
 //	POST /v1/batch                    compile many points on the worker pool
 //	GET  /v1/experiments/table/{id}   tables 1, 2, 3          (?stable=1)
 //	GET  /v1/experiments/figure/{id}  figures 6a..6e, 7       (?stable=1)

@@ -1,0 +1,110 @@
+// The verification sweep: every benchmark family of the paper's
+// evaluation, compiled by every pipeline, run through the differential
+// verification subsystem (internal/verify) on the batch engine.
+// cmd/experiments -verify and the CI smoke test consume it; it is the
+// whole-suite form of the per-request verify mode the compile service
+// exposes.
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"powermove/internal/pipeline"
+	"powermove/internal/report"
+	"powermove/internal/verify"
+)
+
+// VerifySweepQubits is the instance size of the verification sweep:
+// comfortably under verify.MaxOracleQubits, so every point gets the
+// exact state-vector oracle rather than the structural fallback.
+const VerifySweepQubits = 12
+
+// VerifySweepSpecs returns one statevec-checkable instance per
+// benchmark family, in Table-2 family order.
+func VerifySweepSpecs() []Spec {
+	families := []Family{QAOARegular3, QAOARegular4, QAOARandom, QFT, BV, VQE, QSim}
+	specs := make([]Spec, len(families))
+	for i, f := range families {
+		specs[i] = Spec{Family: f, Qubits: VerifySweepQubits}
+	}
+	return specs
+}
+
+// VerifySweepJobs returns the sweep's job list: every sweep instance
+// under all three schemes, each with verification requested.
+func VerifySweepJobs() []pipeline.Job {
+	var jobs []pipeline.Job
+	for _, spec := range VerifySweepSpecs() {
+		for _, scheme := range []pipeline.Scheme{pipeline.Enola, pipeline.NonStorage, pipeline.WithStorage} {
+			job := spec.Job(scheme, 1)
+			job.Key.Verify = true
+			jobs = append(jobs, job)
+		}
+	}
+	return jobs
+}
+
+// VerifyPoint is one sweep result: the evaluation point plus its
+// verification summary.
+type VerifyPoint struct {
+	Key     pipeline.Key    `json:"key"`
+	Summary *verify.Summary `json:"summary"`
+}
+
+// OK reports whether the point verified clean.
+func (p VerifyPoint) OK() bool { return p.Summary != nil && p.Summary.Violations == 0 }
+
+// VerifySweep runs the verification sweep on the engine and returns one
+// point per job, in job order.
+func (rn *Runner) VerifySweep(ctx context.Context) ([]VerifyPoint, error) {
+	jobs := VerifySweepJobs()
+	outcomes, err := rn.run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]VerifyPoint, len(jobs))
+	for i, job := range jobs {
+		points[i] = VerifyPoint{Key: job.Key, Summary: outcomes[job.Key].Verify}
+	}
+	return points, nil
+}
+
+// VerifySweepTable renders the sweep as a table: one row per point with
+// its equivalence mode and violation count.
+func VerifySweepTable(points []VerifyPoint) *report.Table {
+	t := report.NewTable("Verification sweep (physical legality + semantic equivalence)",
+		"Benchmark", "Scheme", "Oracle", "Violations", "Status")
+	for _, p := range points {
+		mode, violations, status := "-", "-", "NOT RUN"
+		if p.Summary != nil {
+			mode = p.Summary.EquivalenceMode
+			violations = fmt.Sprint(p.Summary.Violations)
+			if p.OK() {
+				status = "OK"
+			} else {
+				status = "FAIL"
+			}
+		}
+		t.AddRow(p.Key.Bench, string(p.Key.Scheme), mode, violations, status)
+	}
+	return t
+}
+
+// VerifySweepErr returns an error describing the first failing point of
+// a sweep, or nil when every point verified clean.
+func VerifySweepErr(points []VerifyPoint) error {
+	for _, p := range points {
+		if !p.OK() {
+			if p.Summary == nil {
+				return fmt.Errorf("experiments: %s: verification did not run", p.Key)
+			}
+			msg := ""
+			if len(p.Summary.Messages) > 0 {
+				msg = ": " + p.Summary.Messages[0]
+			}
+			return fmt.Errorf("experiments: %s: %d violation(s)%s", p.Key, p.Summary.Violations, msg)
+		}
+	}
+	return nil
+}

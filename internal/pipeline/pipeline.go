@@ -31,6 +31,7 @@ import (
 	"powermove/internal/compiler"
 	"powermove/internal/fidelity"
 	"powermove/internal/sim"
+	"powermove/internal/verify"
 )
 
 // Scheme names one of the three compilation schemes the evaluation
@@ -68,14 +69,25 @@ type Key struct {
 	// (Result.Key reports the canonical form). Ignored by the enola
 	// scheme.
 	Grouping string
+	// Verify runs the differential verification subsystem
+	// (internal/verify) over the compiled program and attaches its
+	// summary to the outcome. It is part of the key because a verified
+	// outcome carries data an unverified one lacks; the verification
+	// itself is deterministic, so verified outcomes cache like any
+	// other.
+	Verify bool
 }
 
 // String renders the key as "bench/scheme/kaod", with a "/grouping"
-// suffix when a non-default grouping pass is selected.
+// suffix when a non-default grouping pass is selected and a "/verify"
+// suffix when verification is requested.
 func (k Key) String() string {
 	s := fmt.Sprintf("%s/%s/%daod", k.Bench, k.Scheme, k.AODs)
 	if k.Grouping != "" {
 		s += "/" + k.Grouping
+	}
+	if k.Verify {
+		s += "/verify"
 	}
 	return s
 }
@@ -125,6 +137,11 @@ type Outcome struct {
 	// Calls and counters are deterministic functions of the key;
 	// durations are measured wall clock and vary run to run.
 	Passes compiler.PassStats `json:"Passes,omitempty"`
+	// Verify is the differential verification summary, present only
+	// when the job's key requested verification. It is a deterministic
+	// function of the key (a compiled program either violates a
+	// constraint or it does not).
+	Verify *verify.Summary `json:"Verify,omitempty"`
 }
 
 // Stabilize zeroes the outcome's measured wall-clock fields — the
@@ -365,7 +382,8 @@ func runJob(job Job, cache *Cache, compiles, hits *atomic.Int64) Result {
 }
 
 // execute runs one job end to end: generate, build the key's pipeline
-// on the shared pass-manager driver, compile, simulate.
+// on the shared pass-manager driver, compile, simulate, and — when the
+// key asks for it — verify the compiled program differentially.
 func execute(job Job) (Outcome, error) {
 	circ, err := job.Circuit()
 	if err != nil {
@@ -381,7 +399,14 @@ func execute(job Job) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	return simulate(res)
+	out, err := simulate(res)
+	if err != nil {
+		return out, err
+	}
+	if job.Key.Verify {
+		out.Verify = verify.All(circ, res.Program, res.Initial).Summary()
+	}
+	return out, nil
 }
 
 // pipelineFor builds the validated pass pipeline a key selects. Both

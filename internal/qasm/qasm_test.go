@@ -131,24 +131,50 @@ func wantSyntaxError(t *testing.T, src, substr string, line int) {
 	}
 }
 
+// TestParseErrors is the table-driven sweep of the parser's error
+// paths: every rejection carries a SyntaxError naming the problem and,
+// where asserted, the offending source line. The header occupies lines
+// 1-3, so the first body statement is line 4.
 func TestParseErrors(t *testing.T) {
-	wantSyntaxError(t, "qreg q[4];\ncz q[0], q[1];\n", "OPENQASM", 0)
-	wantSyntaxError(t, "OPENQASM 2.0;\ncz q[0], q[1];\n", "before qreg", 2)
-	wantSyntaxError(t, "OPENQASM 2.0;\n", "missing qreg", 0)
-	wantSyntaxError(t, header+"cz q[0], q[9];\n", "out of range", 4)
-	wantSyntaxError(t, header+"cz q[1], q[1];\n", "identical", 4)
-	wantSyntaxError(t, header+"frobnicate q[0];\n", "unsupported", 4)
-	wantSyntaxError(t, header+"cz q[0];\n", "1 operands", 0)
-	wantSyntaxError(t, header+"h q[0], q[1];\n", "2 operands", 0)
-	wantSyntaxError(t, header+"cz r[0], q[1];\n", "unknown register", 0)
-	wantSyntaxError(t, header+"rz q[0];\n", "parameter", 0)
-	wantSyntaxError(t, header+"rz(0.5 q[0];\n", "unterminated", 0)
-	wantSyntaxError(t, header+"rz() q[0];\n", "empty parameter", 0)
-	wantSyntaxError(t, header+"h q[x];\n", "bad qubit index", 0)
-	wantSyntaxError(t, header+"h q0;\n", "malformed operand", 0)
-	wantSyntaxError(t, header+"qreg r[2];\n", "multiple qreg", 0)
-	wantSyntaxError(t, "OPENQASM 2.0;\nqreg q[0];\n", "bad register size", 2)
-	wantSyntaxError(t, "OPENQASM 2.0;\nqreg [4];\n", "missing register name", 2)
+	cases := []struct {
+		name   string
+		src    string
+		substr string
+		line   int
+	}{
+		{"missing header", "qreg q[4];\ncz q[0], q[1];\n", "OPENQASM", 0},
+		{"gate before qreg", "OPENQASM 2.0;\ncz q[0], q[1];\n", "before qreg", 2},
+		{"missing qreg", "OPENQASM 2.0;\n", "missing qreg", 0},
+		{"malformed qreg brackets", "OPENQASM 2.0;\nqreg q4;\n", "malformed qreg", 2},
+		{"malformed qreg reversed brackets", "OPENQASM 2.0;\nqreg q]4[;\n", "malformed qreg", 2},
+		{"qreg size zero", "OPENQASM 2.0;\nqreg q[0];\n", "bad register size", 2},
+		{"qreg size negative", "OPENQASM 2.0;\nqreg q[-3];\n", "bad register size", 2},
+		{"qreg size non-numeric", "OPENQASM 2.0;\nqreg q[many];\n", "bad register size", 2},
+		{"qreg without name", "OPENQASM 2.0;\nqreg [4];\n", "missing register name", 2},
+		{"second qreg", header + "qreg r[2];\n", "multiple qreg", 4},
+		{"operand out of range", header + "cz q[0], q[9];\n", "out of range", 4},
+		{"operand negative", header + "h q[-1];\n", "out of range", 4},
+		{"operand bad index", header + "h q[x];\n", "bad qubit index", 4},
+		{"operand missing brackets", header + "h q0;\n", "malformed operand", 4},
+		{"operand unknown register", header + "cz r[0], q[1];\n", "unknown register", 4},
+		{"operand empty", header + "cz q[0], ;\n", "empty operand", 4},
+		{"missing operands", header + "h;\n", "missing operands", 4},
+		{"two-qubit identical operands", header + "cz q[1], q[1];\n", "identical", 4},
+		{"unknown gate", header + "frobnicate q[0];\n", "unsupported", 4},
+		{"unknown gate with params", header + "u3(0.1,0.2,0.3) q[0];\n", "unsupported", 4},
+		{"two-qubit gate one operand", header + "cz q[0];\n", "1 operands", 4},
+		{"one-qubit gate two operands", header + "h q[0], q[1];\n", "2 operands", 4},
+		{"param gate without params", header + "rz q[0];\n", "parameter", 4},
+		{"param list unterminated", header + "rz(0.5 q[0];\n", "unterminated", 4},
+		{"param list empty", header + "rz() q[0];\n", "empty parameter", 4},
+		{"param two-qubit without params", header + "cp q[0], q[1];\n", "parameter", 4},
+		{"param two-qubit empty list", header + "crz() q[0], q[1];\n", "empty parameter", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantSyntaxError(t, tc.src, tc.substr, tc.line)
+		})
+	}
 }
 
 func TestSyntaxErrorFormat(t *testing.T) {

@@ -97,6 +97,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// ?verify=1 is the query-parameter spelling of the body's "verify"
+	// field: either one turns differential verification on.
+	switch v := r.URL.Query().Get("verify"); v {
+	case "", "0", "false":
+	case "1", "true":
+		req.Verify = true
+	default:
+		writeError(w, &RequestError{fmt.Errorf("verify = %q; want 0/1/true/false", v)})
+		return
+	}
 	resp, err := s.Compile(r.Context(), &req)
 	if err != nil {
 		writeError(w, err)

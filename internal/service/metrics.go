@@ -3,10 +3,12 @@ package service
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powermove/internal/cache"
 	"powermove/internal/compiler"
+	"powermove/internal/verify"
 )
 
 // endpointMetrics accumulates per-endpoint request counts and latency
@@ -136,6 +138,49 @@ func (pl *passLedger) snapshot() map[string]PassMetrics {
 	return out
 }
 
+// VerifyMetrics is the cumulative accounting of the differential
+// verification subsystem (internal/verify) across every fresh verified
+// compile: how many programs were checked, how many verified clean, and
+// the total violations found. Cache hits reuse a verification already
+// counted. A non-zero Violations is an alarm — it means a compiled
+// program broke a physical constraint or diverged from its circuit.
+type VerifyMetrics struct {
+	// Checks counts verified compiles.
+	Checks int64 `json:"checks"`
+	// Clean counts verified compiles with no violations.
+	Clean int64 `json:"clean"`
+	// Violations is the cumulative violation count across all checks.
+	Violations int64 `json:"violations"`
+}
+
+// verifyLedger accumulates VerifyMetrics atomically.
+type verifyLedger struct {
+	checks, clean, violations atomic.Int64
+}
+
+// observe folds one verified compile's summary into the ledger; nil
+// (unverified compile) is a no-op.
+func (vl *verifyLedger) observe(s *verify.Summary) {
+	if s == nil {
+		return
+	}
+	vl.checks.Add(1)
+	if s.Violations == 0 {
+		vl.clean.Add(1)
+	} else {
+		vl.violations.Add(int64(s.Violations))
+	}
+}
+
+// snapshot reads the ledger.
+func (vl *verifyLedger) snapshot() VerifyMetrics {
+	return VerifyMetrics{
+		Checks:     vl.checks.Load(),
+		Clean:      vl.clean.Load(),
+		Violations: vl.violations.Load(),
+	}
+}
+
 // MemCounters is the allocation side of /metrics, read from
 // runtime.MemStats at snapshot time. The compile hot path was tuned to
 // run allocation-free (pooled router scratch, bitset sets, reused
@@ -180,6 +225,9 @@ type MetricsSnapshot struct {
 	// Passes is the cumulative per-compiler-pass time/counter ledger
 	// across every fresh compile the server has executed.
 	Passes map[string]PassMetrics `json:"passes"`
+	// Verify is the differential-verification ledger across every
+	// fresh verified compile.
+	Verify VerifyMetrics `json:"verify"`
 }
 
 // Metrics returns a snapshot of the server's accounting.
@@ -202,5 +250,6 @@ func (s *Server) Metrics() MetricsSnapshot {
 		},
 		Endpoints: s.endpoints.snapshot(),
 		Passes:    s.passes.snapshot(),
+		Verify:    s.verifies.snapshot(),
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"powermove/internal/fidelity"
 	"powermove/internal/pipeline"
 	"powermove/internal/qasm"
+	"powermove/internal/verify"
 	"powermove/internal/workload"
 )
 
@@ -68,6 +69,7 @@ type Server struct {
 	compiles  atomic.Int64
 	endpoints endpointMetrics
 	passes    passLedger
+	verifies  verifyLedger
 }
 
 // New returns a ready Server.
@@ -111,6 +113,12 @@ type CompileRequest struct {
 	// repeated requests (and the CLI's -json -stable mode) are
 	// byte-identical.
 	Stable bool `json:"stable,omitempty"`
+	// Verify runs the differential verification subsystem
+	// (internal/verify) over the compiled program — the physical
+	// legality checker plus the semantic equivalence oracle — and
+	// attaches its summary to the response. The HTTP front end also
+	// accepts it as the ?verify=1 query parameter.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // WorkloadSpec names a generated benchmark instance, mirroring
@@ -158,6 +166,10 @@ type CompileResponse struct {
 	// durations are zeroed under Stable and on cache hits (calls and
 	// counters are deterministic).
 	Passes compiler.PassStats `json:"passes,omitempty"`
+	// Verify is the differential verification summary, present only
+	// when the request asked for verification. Deterministic, so it
+	// survives Stable and cache hits unchanged.
+	Verify *verify.Summary `json:"verify,omitempty"`
 	// Cached reports whether the outcome came from the shared cache (or
 	// an in-flight identical request) rather than a fresh compile.
 	Cached bool `json:"cached"`
@@ -223,6 +235,7 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 		circ := prog.Circuit
 		job := pipeline.NewJob(bench, scheme, aods, func() (*circuit.Circuit, error) { return circ, nil })
 		job.Key.Grouping = grouping
+		job.Key.Verify = req.Verify
 		return &compileSpec{
 			job:    job,
 			qubits: circ.Qubits,
@@ -246,6 +259,7 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 		}
 		job := pipeline.NewJob(bench, scheme, aods, gen)
 		job.Key.Grouping = grouping
+		job.Key.Verify = req.Verify
 		return &compileSpec{
 			job:    job,
 			qubits: w.Qubits,
@@ -317,6 +331,7 @@ func (s *Server) Compile(ctx context.Context, req *CompileRequest) (*CompileResp
 		}
 		if !result.Cached {
 			s.passes.observe(result.Outcome.Passes)
+			s.verifies.observe(result.Outcome.Verify)
 		}
 		return s.response(spec, result), nil
 	})
@@ -362,6 +377,7 @@ func (s *Server) response(spec *compileSpec, r pipeline.Result) *CompileResponse
 		Moves:      r.Outcome.Moves,
 		Grouping:   r.Key.Grouping,
 		Passes:     r.Outcome.Passes,
+		Verify:     r.Outcome.Verify,
 		Cached:     r.Cached,
 	}
 	if spec.stable || r.Cached {
@@ -433,6 +449,7 @@ func (s *Server) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 		for _, r := range results {
 			if r.Err == nil && !r.Cached {
 				s.passes.observe(r.Outcome.Passes)
+				s.verifies.observe(r.Outcome.Verify)
 			}
 		}
 		// Which duplicate of a key actually compiled is a scheduling
@@ -493,6 +510,7 @@ func (s *Server) Experiment(ctx context.Context, kind, id string, stable bool) (
 		OnResult: func(done, total int, r pipeline.Result) {
 			if r.Err == nil && !r.Cached {
 				s.passes.observe(r.Outcome.Passes)
+				s.verifies.observe(r.Outcome.Verify)
 			}
 		},
 	}

@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"testing"
+
+	"powermove/internal/compiler"
+	"powermove/internal/workload"
+)
+
+// FuzzCompileVerify is the subsystem's fuzzing harness: it maps the
+// fuzzer's raw inputs onto a seeded random circuit (internal/workload's
+// generator layer), a randomized architecture, and a pipeline
+// configuration, compiles, and demands the result verifies clean under
+// the physical legality checker and the semantic equivalence oracle.
+// Any violation is a real compiler bug: the generated circuits always
+// validate and the architectures always have capacity, so compilation
+// must succeed and the product must be legal and equivalent.
+//
+// The committed seed corpus (testdata/fuzz/FuzzCompileVerify) pins one
+// input per pipeline x grouping x AOD shape; `go test` replays it on
+// every run, and CI's fuzz job explores beyond it.
+func FuzzCompileVerify(f *testing.F) {
+	//            seed  qubits blocks density scheme aods grouping
+	f.Add(int64(1), int64(8), int64(3), int64(30), int64(0), int64(1), int64(0))
+	f.Add(int64(2), int64(10), int64(4), int64(50), int64(1), int64(1), int64(0))
+	f.Add(int64(3), int64(12), int64(5), int64(20), int64(2), int64(2), int64(1))
+	f.Add(int64(4), int64(6), int64(2), int64(80), int64(2), int64(4), int64(2))
+	f.Add(int64(5), int64(2), int64(1), int64(99), int64(1), int64(3), int64(1))
+	f.Add(int64(6), int64(14), int64(6), int64(10), int64(0), int64(1), int64(0))
+	f.Fuzz(func(t *testing.T, seed, qubits, blocks, density, scheme, aods, grouping int64) {
+		cfg := workload.RandomConfig{
+			Qubits:  2 + abs(qubits)%13, // 2..14: statevec oracle always applies
+			Blocks:  1 + abs(blocks)%6,  // 1..6 dependent blocks
+			Density: 0.05 + float64(abs(density)%100)/110.0,
+		}
+		circ := workload.Random(cfg, seed)
+		hw := workload.RandomArch(cfg.Qubits, seed)
+		// The fuzzer also steers the AOD count directly; AODs is a plain
+		// capacity field with no derived caches, so mutation is safe.
+		hw.AODs = 1 + abs(aods)%4
+
+		var (
+			p   *compiler.Pipeline
+			err error
+		)
+		switch abs(scheme) % 3 {
+		case 0:
+			hw.AODs = 1 // the baseline is single-AOD
+			p, err = compiler.Enola(compiler.EnolaConfig{Seed: seed})
+		case 1:
+			p, err = compiler.Zoned(compiler.ZonedConfig{
+				UseStorage: false,
+				Grouping:   groupingName(grouping),
+			})
+		default:
+			p, err = compiler.Zoned(compiler.ZonedConfig{
+				UseStorage: true,
+				Grouping:   groupingName(grouping),
+			})
+		}
+		if err != nil {
+			t.Fatalf("pipeline construction: %v", err)
+		}
+		res, err := p.Run(circ, hw)
+		if err != nil {
+			t.Fatalf("compile %s: %v", circ.Name, err)
+		}
+		if r := All(circ, res.Program, res.Initial); !r.OK() {
+			t.Fatalf("compile %s (%d AODs) produced an illegal or inequivalent program:\n%s",
+				circ.Name, hw.AODs, r)
+		}
+	})
+}
+
+func abs(v int64) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 {
+		return 0 // MinInt64
+	}
+	return int(v)
+}
+
+// groupingName maps a fuzz input onto the grouping registry.
+func groupingName(v int64) string {
+	names := compiler.GroupingNames()
+	return names[abs(v)%len(names)]
+}

@@ -1,0 +1,118 @@
+// Seeded random circuit and architecture generators — the input side of
+// the differential verification subsystem (internal/verify). Unlike the
+// paper benchmarks above, these sweep the whole IR shape space: mixed
+// 1Q layers and CZ blocks, parameterized depth and connectivity, and
+// architectures with spare capacity and multiple AOD arrays, so the
+// fuzzing harness explores schedules the curated workloads never
+// produce. All generators are pure functions of their configuration and
+// seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+)
+
+// RandomConfig parameterizes Random. The zero value of each optional
+// field selects a sensible default.
+type RandomConfig struct {
+	// Qubits is the register size. Required, at least 2.
+	Qubits int
+	// Blocks is the number of dependent CZ blocks; 0 selects 4.
+	Blocks int
+	// Density is the probability that any given qubit pair carries a CZ
+	// gate within one block, controlling connectivity; 0 selects 0.3.
+	// Must lie in (0, 1].
+	Density float64
+	// MaxOneQ bounds the random per-block 1Q-layer size; 0 selects
+	// Qubits. Negative disables 1Q layers entirely.
+	MaxOneQ int
+}
+
+// Random returns a seeded random circuit: cfg.Blocks dependent blocks,
+// each holding a random 1Q layer and a Density-random subset of the
+// qubit pairs, deduplicated. The same (cfg, seed) always produces the
+// same circuit, and the result always passes circuit.Validate.
+// It panics on an invalid configuration.
+func Random(cfg RandomConfig, seed int64) *circuit.Circuit {
+	if cfg.Qubits < 2 {
+		panic(fmt.Sprintf("workload: random circuit needs at least 2 qubits, got %d", cfg.Qubits))
+	}
+	blocks := cfg.Blocks
+	if blocks == 0 {
+		blocks = 4
+	}
+	if blocks < 0 {
+		panic(fmt.Sprintf("workload: negative block count %d", blocks))
+	}
+	density := cfg.Density
+	if density == 0 {
+		density = 0.3
+	}
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("workload: density %v outside (0, 1]", density))
+	}
+	maxOneQ := cfg.MaxOneQ
+	if maxOneQ == 0 {
+		maxOneQ = cfg.Qubits
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(fmt.Sprintf("random-%d-b%d@%d", cfg.Qubits, blocks, seed), cfg.Qubits)
+	for b := 0; b < blocks; b++ {
+		var gates []circuit.CZ
+		for u := 0; u < cfg.Qubits; u++ {
+			for v := u + 1; v < cfg.Qubits; v++ {
+				if rng.Float64() < density {
+					gates = append(gates, circuit.NewCZ(u, v))
+				}
+			}
+		}
+		oneQ := 0
+		if maxOneQ > 0 {
+			oneQ = rng.Intn(maxOneQ + 1)
+		}
+		c.AddBlock(oneQ, dedupeCZ(gates)...)
+	}
+	return c
+}
+
+// RandomArch returns a seeded random architecture able to host a
+// circuit of the given size: the Table-2 geometry for a qubit budget
+// drawn from [qubits, 2*qubits] (spare capacity exercises non-trivial
+// placement and routing slack) and 1 to 4 AOD arrays.
+// It panics if qubits is not positive.
+func RandomArch(qubits int, seed int64) *arch.Arch {
+	if qubits <= 0 {
+		panic(fmt.Sprintf("workload: non-positive qubit count %d", qubits))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return arch.New(arch.Config{
+		Qubits: qubits + rng.Intn(qubits+1),
+		AODs:   1 + rng.Intn(4),
+	})
+}
+
+// dedupeCZ removes duplicate gates while preserving first-occurrence
+// order, the guard every generator routes its gate lists through so a
+// buggy or adversarial edge source can never produce a block that fails
+// circuit.Validate. (circuit.NewCZ already rejects self-loops; this
+// closes the duplicate half.) The input slice is reused.
+func dedupeCZ(gates []circuit.CZ) []circuit.CZ {
+	if len(gates) < 2 {
+		return gates
+	}
+	seen := make(map[circuit.CZ]bool, len(gates))
+	out := gates[:0]
+	for _, g := range gates {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"powermove/internal/circuit"
+)
+
+func TestRandomCircuitIsValidAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := RandomConfig{Qubits: 2 + int(seed)%11, Blocks: 1 + int(seed)%6, Density: 0.05 + 0.9*float64(seed)/25}
+		c := Random(cfg, seed)
+		mustValidate(t, c)
+		if c.Qubits != cfg.Qubits || len(c.Blocks) != cfg.Blocks {
+			t.Fatalf("seed %d: got %d qubits / %d blocks, want %d / %d",
+				seed, c.Qubits, len(c.Blocks), cfg.Qubits, cfg.Blocks)
+		}
+		again := Random(cfg, seed)
+		if c.String() != again.String() || c.CZCount() != again.CZCount() {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		for bi := range c.Blocks {
+			for gi, g := range c.Blocks[bi].Gates {
+				if again.Blocks[bi].Gates[gi] != g {
+					t.Fatalf("seed %d: block %d gate %d differs across identical runs", seed, bi, gi)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomCircuitDefaults(t *testing.T) {
+	c := Random(RandomConfig{Qubits: 8}, 3)
+	mustValidate(t, c)
+	if len(c.Blocks) != 4 {
+		t.Errorf("default blocks = %d, want 4", len(c.Blocks))
+	}
+}
+
+func TestRandomCircuitRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []RandomConfig{
+		{Qubits: 1},
+		{Qubits: 8, Blocks: -1},
+		{Qubits: 8, Density: 1.5},
+		{Qubits: 8, Density: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Random(%+v) did not panic", cfg)
+				}
+			}()
+			Random(cfg, 1)
+		}()
+	}
+}
+
+func TestRandomArchHostsCircuit(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 2 + int(seed)
+		a := RandomArch(n, seed)
+		if a.ComputeSites() < n {
+			t.Fatalf("seed %d: %d compute sites for %d qubits", seed, a.ComputeSites(), n)
+		}
+		if a.StorageSites() < n {
+			t.Fatalf("seed %d: %d storage sites for %d qubits", seed, a.StorageSites(), n)
+		}
+		if a.AODs < 1 || a.AODs > 4 {
+			t.Fatalf("seed %d: AOD count %d outside [1, 4]", seed, a.AODs)
+		}
+		again := RandomArch(n, seed)
+		if a.ComputeRows != again.ComputeRows || a.ComputeCols != again.ComputeCols ||
+			a.StorageRows != again.StorageRows || a.AODs != again.AODs {
+			t.Fatalf("seed %d: arch generator is not deterministic", seed)
+		}
+	}
+}
+
+// TestDedupeCZ is the regression test for the generator guard: duplicate
+// gates collapse to their first occurrence, order is otherwise
+// preserved, and duplicate-free inputs come back untouched.
+func TestDedupeCZ(t *testing.T) {
+	g01, g12, g23 := circuit.NewCZ(0, 1), circuit.NewCZ(1, 2), circuit.NewCZ(2, 3)
+	got := dedupeCZ([]circuit.CZ{g01, g12, g01, g23, g12, g01})
+	want := []circuit.CZ{g01, g12, g23}
+	if len(got) != len(want) {
+		t.Fatalf("dedupeCZ kept %d gates, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupeCZ[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	clean := []circuit.CZ{g23, g01}
+	kept := dedupeCZ(clean)
+	if len(kept) != 2 || kept[0] != g23 || kept[1] != g01 {
+		t.Fatalf("dedupeCZ reordered a clean list: %v", kept)
+	}
+}
+
+// TestGeneratorsNeverEmitDuplicateGates sweeps every randomized
+// generator across seeds and asserts the produced circuits validate —
+// the end-to-end form of the dedupe guard.
+func TestGeneratorsNeverEmitDuplicateGates(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		mustValidate(t, QAOARegular(18, 3, seed))
+		mustValidate(t, QAOARandom(12, seed))
+		mustValidate(t, BV(10, seed))
+		mustValidate(t, QSim(12, seed))
+		mustValidate(t, Random(RandomConfig{Qubits: 10, Blocks: 5, Density: 0.5}, seed))
+	}
+}

@@ -108,8 +108,8 @@ func BV(n int, seed int64) *circuit.Circuit {
 			gates = append(gates, circuit.NewCZ(i, n-1))
 		}
 	}
-	c.AddBlock(n, gates...) // initial Hadamard layer on all qubits
-	c.AddBlock(n)           // final Hadamard layer
+	c.AddBlock(n, dedupeCZ(gates)...) // initial Hadamard layer on all qubits
+	c.AddBlock(n)                     // final Hadamard layer
 	return c
 }
 
@@ -167,6 +167,7 @@ func QSim(n int, seed int64) *circuit.Circuit {
 		for i := 0; i+1 < len(support); i++ {
 			down = append(down, circuit.NewCZ(support[i], support[i+1]))
 		}
+		down = dedupeCZ(down)
 		up := make([]circuit.CZ, len(down))
 		for i, g := range down {
 			up[len(down)-1-i] = g
@@ -183,5 +184,8 @@ func edgesToGates(g *graphutil.Graph) []circuit.CZ {
 	for i, e := range edges {
 		gates[i] = circuit.NewCZ(e[0], e[1])
 	}
-	return gates
+	// graphutil.Graph collapses parallel edges already; the dedupe guard
+	// keeps that a local implementation detail rather than a correctness
+	// dependency of every circuit built from a graph.
+	return dedupeCZ(gates)
 }

@@ -41,6 +41,7 @@ import (
 	"powermove/internal/service"
 	"powermove/internal/sim"
 	"powermove/internal/trace"
+	"powermove/internal/verify"
 	"powermove/internal/viz"
 	"powermove/internal/workload"
 )
@@ -120,6 +121,34 @@ func ExecuteWithTrace(prog *Program, initial *Layout) (*ExecutionResult, *Trace,
 
 // Trace is an execution timeline recorded by ExecuteWithTrace.
 type Trace = trace.Trace
+
+// Differential-verification types re-exported from internal/verify.
+type (
+	// VerifyReport is a full verification report: every structured
+	// violation the physical legality checker and the semantic
+	// equivalence oracle found, plus the replay accounting.
+	VerifyReport = verify.Report
+	// VerifyViolation is one structured diagnostic of a VerifyReport.
+	VerifyViolation = verify.Violation
+	// VerifySummary is the serializable digest of a VerifyReport that
+	// rides on service responses and batch outcomes.
+	VerifySummary = verify.Summary
+)
+
+// Verify runs the differential verification subsystem over a compiled
+// result: the physical legality checker replays the program against the
+// architecture model (AOD order preservation, trap exclusivity,
+// blockade spacing, stage-transition consistency), and the semantic
+// equivalence oracle proves the program means circ (state-vector
+// comparison up to verify.MaxOracleQubits qubits, structural gate
+// accounting plus exact spot checks beyond). circ must be the circuit
+// res was compiled from; a compilation run with Options.FuseBlocks
+// reorders across fused block boundaries by design, so verify such
+// results against the fused circuit (internal/fuse) instead of the
+// original.
+func Verify(circ *Circuit, res *CompileResult) *VerifyReport {
+	return verify.All(circ, res.Program, res.Initial)
+}
 
 // RenderLayout draws a layout as an ASCII occupancy grid (computation
 // zone on top, storage zone below).

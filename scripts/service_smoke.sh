@@ -83,4 +83,31 @@ for name, before in first.items():
 print("service_smoke: /metrics per-pass counters are monotone across requests")
 EOF
 
+# Differential verification end to end: ?verify=1 must return a clean
+# verify block, the /metrics verify ledger must record the check, and
+# the whole-suite verification sweep must pass.
+curl -fsS -X POST "http://$ADDR/v1/compile?verify=1" \
+  -H 'Content-Type: application/json' -d "$REQ" > "$TMP/svc-verify.json"
+grep -q '"verify"' "$TMP/svc-verify.json"
+grep -q '"violations": 0' "$TMP/svc-verify.json"
+grep -q '"equivalence_mode": "statevec"' "$TMP/svc-verify.json"
+"$TMP/powermove" -bench QFT -n 18 -json -stable -verify > "$TMP/cli-verify.json"
+cmp "$TMP/svc-verify.json" "$TMP/cli-verify.json"
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics3.json"
+python3 - "$TMP/metrics3.json" <<'PYEOF'
+import json, sys
+v = json.load(open(sys.argv[1]))["verify"]
+if v["checks"] < 1 or v["clean"] != v["checks"] or v["violations"] != 0:
+    sys.exit(f"verify ledger wrong: {v}")
+print("service_smoke: /metrics verify ledger records a clean check")
+PYEOF
+echo "service_smoke: daemon verify mode is clean and byte-identical to the CLI"
+
+if ! go run ./cmd/experiments -verify -progress=false > "$TMP/verify-sweep.txt"; then
+  echo "service_smoke: verification sweep reported failures" >&2
+  cat "$TMP/verify-sweep.txt" >&2
+  exit 1
+fi
+echo "service_smoke: verification sweep passed (all families x all pipelines)"
+
 echo "service_smoke: PASS"
