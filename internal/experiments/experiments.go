@@ -16,6 +16,7 @@ import (
 	"powermove/internal/arch"
 	"powermove/internal/circuit"
 	"powermove/internal/pipeline"
+	"powermove/internal/verify"
 	"powermove/internal/workload"
 )
 
@@ -202,11 +203,16 @@ type Runner struct {
 	// service-wide worker bound.
 	Sem chan struct{}
 
-	stats pipeline.Stats
+	stats  pipeline.Stats
+	oracle verify.OracleStats
 }
 
 // Stats returns the accumulated engine accounting of every run so far.
 func (rn *Runner) Stats() pipeline.Stats { return rn.stats }
+
+// Oracle returns the accumulated state-vector oracle accounting of
+// every verification sweep this runner ran (zero if none did).
+func (rn *Runner) Oracle() verify.OracleStats { return rn.oracle }
 
 // run executes jobs and indexes the outcomes by key. Per-job errors
 // abort with the first failure; a cancelled context aborts with ctx.Err.

@@ -30,6 +30,8 @@ import (
 	"powermove/internal/circuit"
 	"powermove/internal/compiler"
 	"powermove/internal/fidelity"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
 	"powermove/internal/sim"
 	"powermove/internal/verify"
 )
@@ -103,6 +105,12 @@ type Job struct {
 	// Arch builds the target hardware. Nil selects the default Table-2
 	// geometry for the circuit's qubit count with Key.AODs arrays.
 	Arch func() *arch.Arch
+	// Keep, when set, receives the job's compile artifacts right after a
+	// successful compile, before simulation. It fires only on fresh
+	// compiles — a job served from the cache never re-derives its
+	// artifacts (use CompileJob to recover them). Keep is not part of
+	// the cache identity; it must not influence the outcome.
+	Keep func(Artifacts)
 }
 
 // NewJob builds the standard job for one evaluation point: gen generates
@@ -113,6 +121,15 @@ func NewJob(bench string, scheme Scheme, aods int, gen func() (*circuit.Circuit,
 		Key:     Key{Bench: bench, Scheme: scheme, AODs: aods},
 		Circuit: gen,
 	}
+}
+
+// Artifacts are the intermediate products of one compile — what a
+// consumer needs to verify the program outside the engine (the batched
+// oracle of internal/verify consumes corpora of these).
+type Artifacts struct {
+	Circuit *circuit.Circuit
+	Program *isa.Program
+	Initial *layout.Layout
 }
 
 // Outcome is the evaluation payload of one job. Every field except Tcomp
@@ -399,6 +416,9 @@ func execute(job Job) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	if job.Keep != nil {
+		job.Keep(Artifacts{Circuit: circ, Program: res.Program, Initial: res.Initial})
+	}
 	out, err := simulate(res)
 	if err != nil {
 		return out, err
@@ -407,6 +427,28 @@ func execute(job Job) (Outcome, error) {
 		out.Verify = verify.All(circ, res.Program, res.Initial).Summary()
 	}
 	return out, nil
+}
+
+// CompileJob runs the job's generate-and-compile front half and returns
+// the artifacts, skipping the cache, the simulator, and verification —
+// the recompile fallback for consumers that need artifacts of a job the
+// cache already served (the batched verify sweep).
+func CompileJob(job Job) (Artifacts, error) {
+	job.Key.Grouping = compiler.NormalizeGrouping(job.Key.Grouping)
+	circ, err := job.Circuit()
+	if err != nil {
+		return Artifacts{}, err
+	}
+	hw := defaultArch(job, circ)
+	p, err := pipelineFor(job.Key)
+	if err != nil {
+		return Artifacts{}, err
+	}
+	res, err := p.Run(circ, hw)
+	if err != nil {
+		return Artifacts{}, err
+	}
+	return Artifacts{Circuit: circ, Program: res.Program, Initial: res.Initial}, nil
 }
 
 // pipelineFor builds the validated pass pipeline a key selects. Both

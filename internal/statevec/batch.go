@@ -1,0 +1,209 @@
+// The batched simulation engine. A Batch holds K states of the same
+// register size in one contiguous structure-of-arrays amplitude buffer
+// and applies gates across all of them in a single blocked pass — the
+// N-independent-rollouts-as-one-linear-algebra-pass shape: the verify
+// oracle simulates a whole sweep or fuzz corpus as a handful of Batch
+// runs instead of thousands of independent simulations.
+//
+// Determinism contract: every Batch operation reuses the rank-range
+// kernels of statevec.go on per-state subranges, so amplitudes are
+// bit-identical to applying the same gates to K independent States —
+// for every worker count, because chunk boundaries only tile the
+// element-wise index space.
+package statevec
+
+import "fmt"
+
+// BatchConfig configures a Batch.
+type BatchConfig struct {
+	// Qubits is the register size shared by every state in the batch.
+	Qubits int
+	// States is the number of states K.
+	States int
+	// Workers bounds the goroutines this batch's operations may use:
+	// 0 falls back to the package default (SetParallelism), 1 forces
+	// serial execution. Per-batch so concurrent batches with different
+	// needs never fight over the package global.
+	Workers int
+}
+
+// Batch is K quantum states on n qubits in one contiguous amplitude
+// buffer, state s occupying amp[s*2^n : (s+1)*2^n]. All states start
+// as |0...0>.
+type Batch struct {
+	n       int
+	k       int
+	amp     []complex128
+	workers int
+}
+
+// NewBatch allocates a batch of cfg.States states, each |0...0> on
+// cfg.Qubits qubits. It panics if the register size is outside
+// (0, MaxQubits] or the state count is not positive.
+func NewBatch(cfg BatchConfig) *Batch {
+	if cfg.Qubits <= 0 || cfg.Qubits > MaxQubits {
+		panic(fmt.Sprintf("statevec: qubit count %d outside (0, %d]", cfg.Qubits, MaxQubits))
+	}
+	if cfg.States <= 0 {
+		panic(fmt.Sprintf("statevec: batch of %d states", cfg.States))
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	size := 1 << uint(cfg.Qubits)
+	amp := make([]complex128, cfg.States*size)
+	for s := 0; s < cfg.States; s++ {
+		amp[s*size] = 1
+	}
+	return &Batch{n: cfg.Qubits, k: cfg.States, amp: amp, workers: cfg.Workers}
+}
+
+// Qubits returns the register size shared by the batch's states.
+func (b *Batch) Qubits() int { return b.n }
+
+// States returns the number of states in the batch.
+func (b *Batch) States() int { return b.k }
+
+// State returns a view of state i sharing the batch's amplitude buffer:
+// reads and writes through the view are reads and writes of the batch.
+// Views let callers fill slots (Randomize, CopyFrom) and inspect
+// results without copying; they must not be used concurrently with
+// batch operations.
+func (b *Batch) State(i int) *State {
+	b.checkState(i)
+	size := 1 << uint(b.n)
+	return &State{n: b.n, amp: b.amp[i*size : (i+1)*size : (i+1)*size]}
+}
+
+// SetState copies s into slot i. It panics on register-size mismatch.
+func (b *Batch) SetState(i int, s *State) {
+	b.State(i).CopyFrom(s)
+}
+
+func (b *Batch) checkState(i int) {
+	if i < 0 || i >= b.k {
+		panic(fmt.Sprintf("statevec: state %d outside batch of %d", i, b.k))
+	}
+}
+
+// each tiles the batch-global rank space [0, k*half) across the batch's
+// workers and invokes f with per-state amplitude slices and local rank
+// ranges. half is the per-state rank count (2^(n-1) pair ranks for
+// single-qubit kernels, 2^(n-2) quad ranks for CZ). A tile can span
+// several states; the split points never influence results because the
+// kernels are element-wise on disjoint index sets.
+func (b *Batch) each(half int, f func(amp []complex128, lo, hi int)) {
+	size := 1 << uint(b.n)
+	amp := b.amp
+	parallelFor(b.workers, b.k*half, len(amp), func(glo, ghi int) {
+		for s := glo / half; s*half < ghi; s++ {
+			lo, hi := glo-s*half, ghi-s*half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > half {
+				hi = half
+			}
+			f(amp[s*size:(s+1)*size], lo, hi)
+		}
+	})
+}
+
+// ApplyH applies a Hadamard on qubit q to every state in the batch.
+func (b *Batch) ApplyH(q int) {
+	checkOp(b.n, GateH(q))
+	bit := 1 << uint(q)
+	mask := bit - 1
+	b.each(1<<uint(b.n-1), func(amp []complex128, lo, hi int) {
+		hKernel(amp, bit, mask, lo, hi)
+	})
+}
+
+// ApplyX applies a Pauli-X on qubit q to every state in the batch.
+func (b *Batch) ApplyX(q int) {
+	checkOp(b.n, GateX(q))
+	bit := 1 << uint(q)
+	mask := bit - 1
+	b.each(1<<uint(b.n-1), func(amp []complex128, lo, hi int) {
+		xKernel(amp, bit, mask, lo, hi)
+	})
+}
+
+// ApplyRZ applies diag(1, e^{i*theta}) on qubit q to every state in the
+// batch.
+func (b *Batch) ApplyRZ(q int, theta float64) {
+	checkOp(b.n, GateRZ(q, theta))
+	op := GateRZ(q, theta)
+	phase := op.matrix()[3]
+	bit := 1 << uint(q)
+	mask := bit - 1
+	b.each(1<<uint(b.n-1), func(amp []complex128, lo, hi int) {
+		rzKernel(amp, bit, mask, phase, lo, hi)
+	})
+}
+
+// ApplyU2 applies the row-major 2x2 matrix u on qubit q to every state
+// in the batch.
+func (b *Batch) ApplyU2(q int, u [4]complex128) {
+	checkOp(b.n, Op{Kind: OpU2, Q: q})
+	bit := 1 << uint(q)
+	mask := bit - 1
+	b.each(1<<uint(b.n-1), func(amp []complex128, lo, hi int) {
+		u2Kernel(amp, bit, mask, u, lo, hi)
+	})
+}
+
+// ApplyCZ applies a controlled-Z between qubits p and q to every state
+// in the batch.
+func (b *Batch) ApplyCZ(p, q int) {
+	checkOp(b.n, GateCZ(p, q))
+	loBit, hiBit := 1<<uint(p), 1<<uint(q)
+	if loBit > hiBit {
+		loBit, hiBit = hiBit, loBit
+	}
+	loMask, hiMask := loBit-1, hiBit-1
+	b.each(1<<uint(b.n-2), func(amp []complex128, lo, hi int) {
+		czKernel(amp, loBit, hiBit, loMask, hiMask, lo, hi)
+	})
+}
+
+// ApplyCZRun applies a set of CZ gates to every state as one diagonal
+// sign pass (see State.ApplyCZRun). The parity bitset is built once and
+// shared read-only across all states.
+func (b *Batch) ApplyCZRun(pairs [][2]int) {
+	checkOp(b.n, Op{Kind: OpCZRun, Pairs: pairs})
+	if len(pairs) == 0 {
+		return
+	}
+	words := signMask(b.n, pairs)
+	b.each(len(words), func(amp []complex128, lo, hi int) {
+		applySigns(amp, words, lo, hi)
+	})
+}
+
+// Run applies progs[i] to state i, parallelizing across states: each
+// state executes its own program serially with the shared kernels, so
+// the result is bit-identical to progs[i] applied to an independent
+// State — the shape verify.AllBatch uses to simulate a heterogeneous
+// corpus in one pass. It panics if len(progs) != States() or any op is
+// malformed; validation runs up front so panics surface on the caller's
+// goroutine.
+func (b *Batch) Run(progs [][]Op) {
+	if len(progs) != b.k {
+		panic(fmt.Sprintf("statevec: %d programs for batch of %d states", len(progs), b.k))
+	}
+	for _, prog := range progs {
+		for _, op := range prog {
+			checkOp(b.n, op)
+		}
+	}
+	size := 1 << uint(b.n)
+	parallelFor(b.workers, b.k, len(b.amp), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			view := &State{n: b.n, amp: b.amp[s*size : (s+1)*size : (s+1)*size]}
+			for _, op := range progs[s] {
+				view.applyOp(op, 1)
+			}
+		}
+	})
+}

@@ -1,0 +1,501 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// This file pins the batch engine and the fusion rewrites to the naive
+// single-state kernels. Two different contracts apply:
+//
+//   - Batched kernels, the CZ-run sign pass, and Batch.Run are
+//     BIT-identical to the per-state kernels (same float ops on the
+//     same elements, only tiled differently), for every worker count.
+//   - 1Q gate fusion is tolerance-exact only (matrix products
+//     reassociate floating point); TestFuseOneQProperty pins it to
+//     1e-12.
+
+// randomProg draws a random gate program, weighting CZ enough that
+// fusion finds runs to collapse.
+func randomProg(rng *rand.Rand, n, gates int) []Op {
+	prog := make([]Op, 0, gates)
+	for i := 0; i < gates; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(5) {
+		case 0:
+			prog = append(prog, GateH(q))
+		case 1:
+			prog = append(prog, GateX(q))
+		case 2:
+			prog = append(prog, GateRZ(q, rng.Float64()*2*math.Pi))
+		default:
+			if n < 2 {
+				prog = append(prog, GateZ(q))
+				continue
+			}
+			p := rng.Intn(n)
+			if p == q {
+				p = (q + 1) % n
+			}
+			prog = append(prog, GateCZ(q, p))
+		}
+	}
+	return prog
+}
+
+// applyNaive runs prog through the naive mask-scan references from
+// differential_test.go — the ground truth every tiling must match
+// bit for bit. Fused ops are intentionally unsupported: callers pass
+// unfused programs.
+func applyNaive(s *State, prog []Op) {
+	for _, op := range prog {
+		switch op.Kind {
+		case OpH:
+			naiveH(s, op.Q)
+		case OpX:
+			naiveX(s, op.Q)
+		case OpZ:
+			naiveRZ(s, op.Q, math.Pi)
+		case OpRZ:
+			naiveRZ(s, op.Q, op.Theta)
+		case OpCZ:
+			naiveCZ(s, op.Q, op.Q2)
+		default:
+			panic("applyNaive: fused op in naive reference")
+		}
+	}
+}
+
+// batchApplyOp dispatches one op to the corresponding batched kernel.
+func batchApplyOp(b *Batch, op Op) {
+	switch op.Kind {
+	case OpH:
+		b.ApplyH(op.Q)
+	case OpX:
+		b.ApplyX(op.Q)
+	case OpZ:
+		b.ApplyRZ(op.Q, math.Pi)
+	case OpRZ:
+		b.ApplyRZ(op.Q, op.Theta)
+	case OpCZ:
+		b.ApplyCZ(op.Q, op.Q2)
+	case OpU2:
+		b.ApplyU2(op.Q, op.U)
+	case OpCZRun:
+		b.ApplyCZRun(op.Pairs)
+	}
+}
+
+// TestBatchKernelsMatchSingleState drives the batched ApplyH/X/RZ/CZ
+// kernels against the naive mask-scan references at qubit counts 1-12
+// and worker counts 1/2/8, with the parallel threshold lowered so even
+// tiny registers exercise the goroutine tiling. Amplitudes must be
+// bit-identical; under -race this also proves the (state x block)
+// tiling is data-race free.
+func TestBatchKernelsMatchSingleState(t *testing.T) {
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold) }()
+	parallelThreshold.Store(4)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12} {
+			const k, gates = 3, 80
+			rng := rand.New(rand.NewSource(int64(1000*n + workers)))
+			b := NewBatch(BatchConfig{Qubits: n, States: k, Workers: workers})
+			refs := make([]*State, k)
+			for i := range refs {
+				b.State(i).Randomize(rng)
+				refs[i] = b.State(i).Clone()
+			}
+			for step := 0; step < gates; step++ {
+				prog := randomProg(rng, n, 1)
+				batchApplyOp(b, prog[0])
+				for i := range refs {
+					applyNaive(refs[i], prog)
+				}
+			}
+			for i := range refs {
+				identical(t, fmt.Sprintf("n=%d/workers=%d/state=%d", n, workers, i), b.State(i), refs[i])
+			}
+		}
+	}
+}
+
+// TestBatchKernelsMatchSingleStateLarge extends the differential pin to
+// 15-20 qubit registers, where a naive mask-scan reference would
+// dominate the -race budget: the reference is the single-State blocked
+// kernel instead, itself pinned bit-identical to the naive loops by
+// TestKernelsMatchNaiveReference, so the identity is transitive. The
+// batch runs 8 workers against a reference whose worker count floats
+// with the package default — a cross-worker-count identity check at
+// full register size.
+func TestBatchKernelsMatchSingleStateLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB registers")
+	}
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold) }()
+	parallelThreshold.Store(4)
+
+	for _, n := range []int{15, 18, 20} {
+		const k, gates = 2, 6
+		rng := rand.New(rand.NewSource(int64(n)))
+		prog := randomProg(rng, n, gates)
+		fused := Fuse(prog)
+		b := NewBatch(BatchConfig{Qubits: n, States: k, Workers: 8})
+		refs := make([]*State, k)
+		for i := range refs {
+			b.State(i).Randomize(rng)
+			refs[i] = b.State(i).Clone()
+		}
+		for _, op := range prog {
+			batchApplyOp(b, op)
+		}
+		for i := range refs {
+			refs[i].Apply(prog)
+			identical(t, fmt.Sprintf("n=%d/state=%d", n, i), b.State(i), refs[i])
+		}
+		// The fused program must also agree with its unfused self on the
+		// bit-identical subset: only when fusion rewrote nothing but CZ
+		// runs (1Q fusion is tolerance-only).
+		hasU2 := false
+		for _, op := range fused {
+			hasU2 = hasU2 || op.Kind == OpU2
+		}
+		if hasU2 {
+			continue
+		}
+		got := NewBatch(BatchConfig{Qubits: n, States: 1, Workers: 8})
+		got.State(0).Randomize(rand.New(rand.NewSource(int64(n) + 1000)))
+		want := got.State(0).Clone()
+		got.Run([][]Op{fused})
+		want.Apply(prog)
+		identical(t, fmt.Sprintf("n=%d/fused", n), got.State(0), want)
+	}
+}
+
+// TestBatchRunMatchesStateApply runs heterogeneous per-state programs —
+// both raw and fused — through Batch.Run and demands bit-identity with
+// State.Apply of the same program, across worker counts. This is the
+// exact shape verify.AllBatch relies on.
+func TestBatchRunMatchesStateApply(t *testing.T) {
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold) }()
+	parallelThreshold.Store(4)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, fuse := range []bool{false, true} {
+			const n, k = 7, 5
+			rng := rand.New(rand.NewSource(int64(42 + workers)))
+			progs := make([][]Op, k)
+			for i := range progs {
+				progs[i] = randomProg(rng, n, 10+rng.Intn(50))
+				if fuse {
+					progs[i] = Fuse(progs[i])
+				}
+			}
+			b := NewBatch(BatchConfig{Qubits: n, States: k, Workers: workers})
+			refs := make([]*State, k)
+			for i := range refs {
+				b.State(i).Randomize(rng)
+				refs[i] = b.State(i).Clone()
+			}
+			b.Run(progs)
+			for i := range refs {
+				refs[i].Apply(progs[i])
+				identical(t, fmt.Sprintf("workers=%d/fuse=%v/state=%d", workers, fuse, i), b.State(i), refs[i])
+			}
+		}
+	}
+}
+
+// TestCZRunBitIdentical: a fused CZ run — including cancelled duplicate
+// pairs — must land on exactly the amplitudes sequential naive CZ
+// application produces, for State and Batch alike. Negation is exact
+// and CZ diagonals commute, so this is bit-identity, not tolerance.
+func TestCZRunBitIdentical(t *testing.T) {
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold) }()
+	parallelThreshold.Store(4)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{2, 3, 5, 8, 11} {
+			rng := rand.New(rand.NewSource(int64(7*n + workers)))
+			// Draw CZ gates with heavy pair reuse so cancellation triggers.
+			gates := make([]Op, 0, 40)
+			for i := 0; i < 40; i++ {
+				a := rng.Intn(n)
+				bq := (a + 1 + rng.Intn(n-1)) % n
+				if rng.Intn(3) == 0 && len(gates) > 0 {
+					gates = append(gates, gates[rng.Intn(len(gates))]) // duplicate
+				} else {
+					gates = append(gates, GateCZ(a, bq))
+				}
+			}
+			fused := Fuse(gates)
+			for _, op := range fused {
+				if op.Kind != OpCZ && op.Kind != OpCZRun {
+					t.Fatalf("n=%d: CZ-only program fused to kind %d", n, op.Kind)
+				}
+			}
+
+			st := NewRandom(n, rng)
+			ref := st.Clone()
+			batch := NewBatch(BatchConfig{Qubits: n, States: 2, Workers: workers})
+			batch.SetState(0, st)
+			batch.SetState(1, st)
+
+			SetParallelism(workers)
+			st.Apply(fused)
+			SetParallelism(0)
+			applyNaive(ref, gates)
+			batch.Run([][]Op{fused, fused})
+
+			label := fmt.Sprintf("n=%d/workers=%d", n, workers)
+			identical(t, label+"/state", st, ref)
+			identical(t, label+"/batch0", batch.State(0), ref)
+			identical(t, label+"/batch1", batch.State(1), ref)
+		}
+	}
+}
+
+// TestSignMaskMatchesDefinition cross-checks the word-stride bitset
+// construction against the literal "both bits set, odd multiplicity"
+// definition, covering qubits below and above the in-word boundary
+// (bit 6) and sub-word registers.
+func TestSignMaskMatchesDefinition(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 7, 9} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 20; trial++ {
+			pairs := make([][2]int, 1+rng.Intn(4))
+			for i := range pairs {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				pairs[i] = [2]int{a, b}
+			}
+			words := signMask(n, pairs)
+			for i := 0; i < 1<<uint(n); i++ {
+				parity := 0
+				for _, p := range pairs {
+					both := 1<<uint(p[0]) | 1<<uint(p[1])
+					if i&both == both {
+						parity ^= 1
+					}
+				}
+				got := int(words[i/64] >> uint(i%64) & 1)
+				if got != parity {
+					t.Fatalf("n=%d pairs=%v: bit %d = %d, want %d", n, pairs, i, got, parity)
+				}
+			}
+			for i := 1 << uint(n); i < 64*len(words); i++ {
+				if words[i/64]>>uint(i%64)&1 != 0 {
+					t.Fatalf("n=%d pairs=%v: tail bit %d set", n, pairs, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFuseOneQProperty is the gate-fusion property test: for random
+// runs of H/X/Z/RZ gates on one qubit, applying the fused 2x2 product
+// must agree with sequential application to 1e-12 in max-norm,
+// including the empty-run and single-gate edge cases (which must pass
+// through Fuse untouched, hence stay bit-identical).
+func TestFuseOneQProperty(t *testing.T) {
+	if got := Fuse(nil); len(got) != 0 {
+		t.Fatalf("Fuse(nil) = %v, want empty", got)
+	}
+	if got := Fuse([]Op{}); len(got) != 0 {
+		t.Fatalf("Fuse(empty) = %v, want empty", got)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	oneQ := func(q int) Op {
+		switch rng.Intn(4) {
+		case 0:
+			return GateH(q)
+		case 1:
+			return GateX(q)
+		case 2:
+			return GateZ(q)
+		default:
+			return GateRZ(q, rng.Float64()*2*math.Pi)
+		}
+	}
+
+	// Single-gate runs: fusion must be the identity rewrite.
+	for trial := 0; trial < 50; trial++ {
+		prog := []Op{oneQ(0)}
+		if got := Fuse(prog); !reflect.DeepEqual(got, prog) {
+			t.Fatalf("single-gate run rewritten: %v -> %v", prog, got)
+		}
+	}
+
+	// Runs of length 2..9: fused product within 1e-12 of sequential.
+	const n = 5
+	for trial := 0; trial < 200; trial++ {
+		q := rng.Intn(n)
+		run := make([]Op, 2+rng.Intn(8))
+		for i := range run {
+			run[i] = oneQ(q)
+		}
+		fused := Fuse(run)
+		if len(fused) != 1 || fused[0].Kind != OpU2 || fused[0].Q != q {
+			t.Fatalf("run of %d gates on q%d fused to %v", len(run), q, fused)
+		}
+		seq := NewRandom(n, rng)
+		fst := seq.Clone()
+		seq.Apply(run)
+		fst.Apply(fused)
+		if !seq.Equal(fst, 1e-12) {
+			t.Fatalf("trial %d: fused run of %d gates deviates beyond 1e-12", trial, len(run))
+		}
+	}
+}
+
+// TestFuseStructure pins the rewrite rules: interleaved qubits break
+// runs, CZ pairs cancel mod 2, a run collapsing to one pair stays a
+// plain OpCZ, a fully cancelled run vanishes, and Fuse is idempotent.
+func TestFuseStructure(t *testing.T) {
+	prog := []Op{
+		GateH(0), GateX(0), // run on q0 -> OpU2
+		GateH(1),                                 // single -> untouched
+		GateCZ(0, 1), GateCZ(1, 0), GateCZ(1, 2), // run: (0,1) cancels -> CZ(1,2)
+		GateRZ(2, 0.5),
+		GateCZ(0, 1), GateCZ(2, 1), GateCZ(0, 2), // run of 3 distinct -> OpCZRun
+		GateCZ(3, 4), GateCZ(4, 3), // fully cancelled -> nothing
+		GateX(3),
+	}
+	got := Fuse(prog)
+	want := []OpKind{OpU2, OpH, OpCZ, OpRZ, OpCZRun, OpX}
+	if len(got) != len(want) {
+		t.Fatalf("Fuse produced %d ops %v, want kinds %v", len(got), got, want)
+	}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("op %d: kind %d, want %d (%v)", i, got[i].Kind, k, got)
+		}
+	}
+	if got[2].Q != 1 || got[2].Q2 != 2 {
+		t.Fatalf("cancelled CZ run left %v, want CZ(1,2)", got[2])
+	}
+	if len(got[4].Pairs) != 3 {
+		t.Fatalf("CZ run pairs = %v, want 3 distinct", got[4].Pairs)
+	}
+	if again := Fuse(got); !reflect.DeepEqual(again, got) {
+		t.Fatalf("Fuse not idempotent: %v -> %v", got, again)
+	}
+}
+
+// TestBatchWorkersIndependentOfGlobal is the SetParallelism race audit:
+// concurrent batches with different per-batch worker counts run while
+// another goroutine hammers the package global. Under -race this must
+// be clean, and every batch must land on the serial reference exactly
+// (per-batch Workers pins the tiling; the global only feeds batches
+// that left Workers at 0 — and either way results are bit-identical).
+func TestBatchWorkersIndependentOfGlobal(t *testing.T) {
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold); SetParallelism(0) }()
+	parallelThreshold.Store(4)
+
+	const n, k = 6, 4
+	rng := rand.New(rand.NewSource(5))
+	progs := make([][]Op, k)
+	for i := range progs {
+		progs[i] = randomProg(rng, n, 40)
+	}
+	seeds := make([]int64, k)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	runBatch := func(workers int) *Batch {
+		b := NewBatch(BatchConfig{Qubits: n, States: k, Workers: workers})
+		for i := 0; i < k; i++ {
+			b.State(i).Randomize(rand.New(rand.NewSource(seeds[i])))
+		}
+		b.Run(progs)
+		return b
+	}
+	want := runBatch(1)
+
+	stop := make(chan struct{})
+	var flipper sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetParallelism(1 + i%8)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, workers := range []int{0, 1, 2, 8, 0, 3} {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			got := runBatch(workers)
+			for i := 0; i < k; i++ {
+				for j, a := range got.State(i).amp {
+					if a != want.State(i).amp[j] {
+						t.Errorf("workers=%d state=%d amp %d: %v vs %v", workers, i, j, a, want.State(i).amp[j])
+						return
+					}
+				}
+			}
+		}(workers)
+	}
+	wg.Wait()
+	close(stop)
+	flipper.Wait()
+}
+
+// TestBatchViewsAndValidation covers the view/copy plumbing and the
+// up-front validation contract.
+func TestBatchViewsAndValidation(t *testing.T) {
+	b := NewBatch(BatchConfig{Qubits: 3, States: 2})
+	for i := 0; i < 2; i++ {
+		if p := b.State(i).Probability(0); p != 1 {
+			t.Fatalf("state %d not |000>: P(0)=%v", i, p)
+		}
+	}
+
+	// Views share the buffer: writing through one is visible in the batch.
+	rng := rand.New(rand.NewSource(11))
+	b.State(1).Randomize(rng)
+	standalone := NewRandom(3, rand.New(rand.NewSource(11)))
+	identical(t, "view randomize", b.State(1), standalone)
+
+	// SetState copies; mutating the source afterwards must not leak in.
+	src := NewRandom(3, rng)
+	b.SetState(0, src)
+	saved := src.Clone()
+	src.X(0)
+	identical(t, "SetState copies", b.State(0), saved)
+
+	mustPanic := func(label string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", label)
+			}
+		}()
+		f()
+	}
+	mustPanic("qubits=0", func() { NewBatch(BatchConfig{Qubits: 0, States: 1}) })
+	mustPanic("states=0", func() { NewBatch(BatchConfig{Qubits: 2, States: 0}) })
+	mustPanic("state out of range", func() { b.State(2) })
+	mustPanic("size mismatch", func() { b.SetState(0, NewZero(4)) })
+	mustPanic("prog count", func() { b.Run(nil) })
+	mustPanic("bad op validated up front", func() {
+		b.Run([][]Op{{GateH(0)}, {GateCZ(1, 7)}})
+	})
+	mustPanic("cz same qubit", func() { b.ApplyCZ(1, 1) })
+}

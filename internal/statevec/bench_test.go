@@ -46,6 +46,100 @@ func BenchmarkStatevecCZ(b *testing.B) {
 	benchGates(b, "CZ", func(s *State, q int) { s.CZ(q, (q+1)%s.Qubits()) })
 }
 
+// benchBatch compares one batched gate pass over K states against the
+// per-state loop it replaces: identical work (same kernels, same
+// amplitudes), different tiling. The batched pass amortizes dispatch
+// and parallelizes over (state x block) tiles, so it should win clearly
+// at small registers (where per-state parallelism never engages) and
+// tie or better at large ones.
+func benchBatch(b *testing.B, name string, batched func(bt *Batch, q int), single func(s *State, q int)) {
+	const k = 8
+	for _, n := range []int{10, 16} {
+		bt := NewBatch(BatchConfig{Qubits: n, States: k})
+		states := make([]*State, k)
+		rng := rand.New(rand.NewSource(9))
+		for i := range states {
+			bt.State(i).Randomize(rng)
+			states[i] = bt.State(i).Clone()
+		}
+		bytes := int64(16) * int64(k) << uint(n)
+		b.Run(fmt.Sprintf("%s/q=%d/batch", name, n), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				for q := 0; q < n; q++ {
+					batched(bt, q)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/q=%d/perstate", name, n), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				for q := 0; q < n; q++ {
+					for _, s := range states {
+						single(s, q)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBatchApplyH(b *testing.B) {
+	benchBatch(b, "H",
+		func(bt *Batch, q int) { bt.ApplyH(q) },
+		func(s *State, q int) { s.H(q) })
+}
+
+func BenchmarkBatchApplyCZ(b *testing.B) {
+	benchBatch(b, "CZ",
+		func(bt *Batch, q int) { bt.ApplyCZ(q, (q+1)%bt.Qubits()) },
+		func(s *State, q int) { s.CZ(q, (q+1)%s.Qubits()) })
+}
+
+// BenchmarkBatchRun measures the oracle's shape end to end: K states,
+// each with its own CZ-heavy program, fused vs unfused, batched vs a
+// serial per-state loop. The fused variants collapse each program's CZ
+// run into one sign pass — the rewrite that pays for the raised oracle
+// ceiling.
+func BenchmarkBatchRun(b *testing.B) {
+	const n, k, gates = 12, 8, 256
+	rng := rand.New(rand.NewSource(10))
+	progs := make([][]Op, k)
+	fused := make([][]Op, k)
+	for i := range progs {
+		prog := make([]Op, gates)
+		for g := range prog {
+			a := rng.Intn(n)
+			bq := (a + 1 + rng.Intn(n-1)) % n
+			prog[g] = GateCZ(a, bq)
+		}
+		progs[i] = prog
+		fused[i] = Fuse(prog)
+	}
+	run := func(b *testing.B, ps [][]Op, batched bool) {
+		bt := NewBatch(BatchConfig{Qubits: n, States: k})
+		seed := rand.New(rand.NewSource(11))
+		for i := 0; i < k; i++ {
+			bt.State(i).Randomize(seed)
+		}
+		b.SetBytes(int64(16) * int64(k) << uint(n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if batched {
+				bt.Run(ps)
+			} else {
+				for s := 0; s < k; s++ {
+					bt.State(s).Apply(ps[s])
+				}
+			}
+		}
+	}
+	b.Run("unfused/perstate", func(b *testing.B) { run(b, progs, false) })
+	b.Run("unfused/batch", func(b *testing.B) { run(b, progs, true) })
+	b.Run("fused/perstate", func(b *testing.B) { run(b, fused, false) })
+	b.Run("fused/batch", func(b *testing.B) { run(b, fused, true) })
+}
+
 func BenchmarkStatevecNorm(b *testing.B) {
 	for _, workers := range []int{1, 0} {
 		rng := rand.New(rand.NewSource(4))

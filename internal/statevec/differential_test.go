@@ -73,15 +73,15 @@ func identical(t *testing.T, label string, got, want *State) {
 // lowered so even small states exercise the goroutine path; run under
 // -race this also proves the chunking is data-race free).
 func TestKernelsMatchNaiveReference(t *testing.T) {
-	oldThreshold := parallelThreshold
-	defer func() { parallelThreshold = oldThreshold; SetParallelism(0) }()
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold); SetParallelism(0) }()
 
 	for _, workers := range []int{1, 3, 8} {
 		for _, n := range []int{1, 2, 5, 9, 12} {
 			rng := rand.New(rand.NewSource(int64(100*n + workers)))
 			fast := NewRandom(n, rng)
 			ref := fast.Clone()
-			parallelThreshold = 4 // force the parallel path on tiny states
+			parallelThreshold.Store(4) // force the parallel path on tiny states
 			SetParallelism(workers)
 
 			for step := 0; step < 120; step++ {
@@ -118,9 +118,9 @@ func TestKernelsMatchNaiveReference(t *testing.T) {
 // return bit-identical values for every worker count — the fixed-chunk
 // merge contract.
 func TestReductionsDeterministicAcrossParallelism(t *testing.T) {
-	oldThreshold := parallelThreshold
-	defer func() { parallelThreshold = oldThreshold; SetParallelism(0) }()
-	parallelThreshold = 4
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold); SetParallelism(0) }()
+	parallelThreshold.Store(4)
 
 	rng := rand.New(rand.NewSource(77))
 	a := NewRandom(14, rng)

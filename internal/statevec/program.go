@@ -1,0 +1,374 @@
+// Gate programs and gate fusion. A []Op is a circuit in the simulator's
+// own terms — the gate set the compiler IR needs, as data instead of
+// method calls — which is what lets the verification oracle hand whole
+// corpora of heterogeneous gate sequences to the batch engine and lets
+// Fuse rewrite a sequence before any kernel touches an amplitude.
+//
+// Two rewrites matter for throughput:
+//
+//   - Runs of adjacent single-qubit gates on one qubit collapse into a
+//     single 2x2 matrix application (one pass over the state instead of
+//     one per gate). The product matrix is ordinary floating point, so
+//     this rewrite is tolerance-exact (~1e-15 per gate), never
+//     bit-identical; single-gate runs keep their dedicated kernel so an
+//     unfusable program runs exactly as before.
+//   - Runs of adjacent CZ gates collapse into one diagonal sign pass
+//     (OpCZRun): CZ gates commute, square to the identity, and only
+//     negate amplitudes — an operation IEEE floats perform exactly — so
+//     pairs with even multiplicity cancel outright and the run applies
+//     in a single sweep with amplitudes bit-identical to the sequential
+//     kernels. This is the oracle's fast path: a CZ-only equivalence
+//     check of G gates becomes a cheap bitset construction plus one
+//     pass over the state, whatever G is.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// OpKind classifies one program operation.
+type OpKind uint8
+
+// The operation kinds: the IR gate set plus the two fused forms.
+const (
+	// OpH, OpX, OpZ, OpRZ, and OpCZ mirror the State methods of the
+	// same names.
+	OpH OpKind = iota
+	OpX
+	OpZ
+	OpRZ
+	OpCZ
+	// OpU2 applies an arbitrary 2x2 matrix to one qubit — the fused
+	// form of a run of single-qubit gates.
+	OpU2
+	// OpCZRun applies a set of CZ gates as one diagonal sign pass —
+	// the fused form of a run of CZ gates.
+	OpCZRun
+)
+
+// Op is one operation of a gate program.
+type Op struct {
+	// Kind selects the operation.
+	Kind OpKind
+	// Q is the target qubit (all kinds except OpCZRun); Q2 is the
+	// second qubit of an OpCZ.
+	Q, Q2 int
+	// Theta is the OpRZ rotation angle.
+	Theta float64
+	// U is the row-major 2x2 matrix of an OpU2.
+	U [4]complex128
+	// Pairs are the qubit pairs of an OpCZRun, each normalized low-high.
+	Pairs [][2]int
+}
+
+// GateH returns a Hadamard on qubit q.
+func GateH(q int) Op { return Op{Kind: OpH, Q: q} }
+
+// GateX returns a Pauli-X on qubit q.
+func GateX(q int) Op { return Op{Kind: OpX, Q: q} }
+
+// GateZ returns a Pauli-Z on qubit q.
+func GateZ(q int) Op { return Op{Kind: OpZ, Q: q} }
+
+// GateRZ returns a phase rotation diag(1, e^{i*theta}) on qubit q.
+func GateRZ(q int, theta float64) Op { return Op{Kind: OpRZ, Q: q, Theta: theta} }
+
+// GateCZ returns a controlled-Z between qubits a and b.
+func GateCZ(a, b int) Op { return Op{Kind: OpCZ, Q: a, Q2: b} }
+
+// oneQ reports whether the op is a fusable single-qubit gate.
+func (op Op) oneQ() bool {
+	switch op.Kind {
+	case OpH, OpX, OpZ, OpRZ:
+		return true
+	}
+	return false
+}
+
+// matrix returns the 2x2 matrix of a single-qubit gate kind.
+func (op Op) matrix() [4]complex128 {
+	inv := complex(1/math.Sqrt2, 0)
+	switch op.Kind {
+	case OpH:
+		return [4]complex128{inv, inv, inv, -inv}
+	case OpX:
+		return [4]complex128{0, 1, 1, 0}
+	case OpZ:
+		return [4]complex128{1, 0, 0, -1}
+	case OpRZ:
+		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, op.Theta))}
+	default:
+		panic(fmt.Sprintf("statevec: op kind %d has no 2x2 matrix", op.Kind))
+	}
+}
+
+// mul2x2 returns the row-major product a*b.
+func mul2x2(a, b [4]complex128) [4]complex128 {
+	return [4]complex128{
+		a[0]*b[0] + a[1]*b[2], a[0]*b[1] + a[1]*b[3],
+		a[2]*b[0] + a[3]*b[2], a[2]*b[1] + a[3]*b[3],
+	}
+}
+
+// Fuse rewrites prog with adjacent-gate fusion:
+//
+//   - A maximal run of two or more single-qubit gates on one qubit
+//     becomes a single OpU2 carrying the product matrix (applied
+//     last-times-first, matching sequential application).
+//   - A maximal run of two or more CZ gates becomes one OpCZRun holding
+//     the pairs with odd multiplicity, in first-occurrence order; a run
+//     that cancels completely vanishes, and a run that reduces to one
+//     pair stays a plain OpCZ.
+//
+// Single-op runs pass through untouched, as do already-fused ops, so
+// fusing is idempotent. The CZ rewrite is bit-identical to sequential
+// application (sign flips are exact and commute); the 1Q rewrite is
+// tolerance-exact only, because matrix products reassociate floating
+// point (TestFuseOneQProperty pins the error under 1e-12).
+func Fuse(prog []Op) []Op {
+	out := make([]Op, 0, len(prog))
+	for i := 0; i < len(prog); {
+		op := prog[i]
+		switch {
+		case op.oneQ():
+			j := i + 1
+			for j < len(prog) && prog[j].oneQ() && prog[j].Q == op.Q {
+				j++
+			}
+			if j-i == 1 {
+				out = append(out, op)
+			} else {
+				u := prog[i].matrix()
+				for k := i + 1; k < j; k++ {
+					u = mul2x2(prog[k].matrix(), u)
+				}
+				out = append(out, Op{Kind: OpU2, Q: op.Q, U: u})
+			}
+			i = j
+		case op.Kind == OpCZ:
+			j := i + 1
+			for j < len(prog) && prog[j].Kind == OpCZ {
+				j++
+			}
+			if j-i == 1 {
+				out = append(out, op)
+			} else if pairs := cancelCZ(prog[i:j]); len(pairs) == 1 {
+				out = append(out, GateCZ(pairs[0][0], pairs[0][1]))
+			} else if len(pairs) > 0 {
+				out = append(out, Op{Kind: OpCZRun, Pairs: pairs})
+			}
+			i = j
+		default:
+			out = append(out, op)
+			i++
+		}
+	}
+	return out
+}
+
+// cancelCZ reduces a run of CZ ops to its odd-multiplicity pairs in
+// first-occurrence order (CZ is an involution, so even counts are the
+// identity).
+func cancelCZ(run []Op) [][2]int {
+	counts := make(map[[2]int]int, len(run))
+	order := make([][2]int, 0, len(run))
+	for _, op := range run {
+		a, b := op.Q, op.Q2
+		if a > b {
+			a, b = b, a
+		}
+		p := [2]int{a, b}
+		if counts[p] == 0 {
+			order = append(order, p)
+		}
+		counts[p]++
+	}
+	pairs := order[:0]
+	for _, p := range order {
+		if counts[p]%2 == 1 {
+			pairs = append(pairs, p)
+		}
+	}
+	return pairs
+}
+
+// Apply runs the program on the state, gate by gate, using the blocked
+// (and, on large states, parallel) kernels. Fused programs (see Fuse)
+// apply their OpU2 and OpCZRun forms in single passes.
+func (s *State) Apply(prog []Op) {
+	for _, op := range prog {
+		s.applyOp(op, 0)
+	}
+}
+
+// applyOp dispatches one op to its kernel with an explicit worker
+// bound (0 = package default, 1 = serial — what Batch.Run uses so
+// per-state programs never nest parallel dispatch).
+func (s *State) applyOp(op Op, workers int) {
+	switch op.Kind {
+	case OpH:
+		s.h(op.Q, workers)
+	case OpX:
+		s.x(op.Q, workers)
+	case OpZ:
+		s.rz(op.Q, math.Pi, workers)
+	case OpRZ:
+		s.rz(op.Q, op.Theta, workers)
+	case OpCZ:
+		s.cz(op.Q, op.Q2, workers)
+	case OpU2:
+		s.applyU2(op.Q, op.U, workers)
+	case OpCZRun:
+		s.applyCZRun(op.Pairs, workers)
+	default:
+		panic(fmt.Sprintf("statevec: unknown op kind %d", op.Kind))
+	}
+}
+
+// checkOp validates one op against an n-qubit register, panicking like
+// the corresponding State method would. Batch.Run validates whole
+// programs up front so a malformed op panics on the caller's goroutine,
+// not inside a worker.
+func checkOp(n int, op Op) {
+	check := func(q int) {
+		if q < 0 || q >= n {
+			panic(fmt.Sprintf("statevec: qubit %d outside register of %d", q, n))
+		}
+	}
+	switch op.Kind {
+	case OpH, OpX, OpZ, OpRZ, OpU2:
+		check(op.Q)
+	case OpCZ:
+		check(op.Q)
+		check(op.Q2)
+		if op.Q == op.Q2 {
+			panic(fmt.Sprintf("statevec: CZ on identical qubit %d", op.Q))
+		}
+	case OpCZRun:
+		for _, p := range op.Pairs {
+			check(p[0])
+			check(p[1])
+			if p[0] == p[1] {
+				panic(fmt.Sprintf("statevec: CZ on identical qubit %d", p[0]))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("statevec: unknown op kind %d", op.Kind))
+	}
+}
+
+// ApplyCZRun applies a set of CZ gates as one diagonal sign pass:
+// a parity bitset marks every basis index an odd number of the pairs
+// negate, then a single sweep flips exactly those amplitudes. The
+// result is bit-identical to applying each CZ kernel in sequence —
+// negation is exact and order-free — while touching the amplitude
+// array once instead of len(pairs) times.
+func (s *State) ApplyCZRun(pairs [][2]int) { s.applyCZRun(pairs, 0) }
+
+func (s *State) applyCZRun(pairs [][2]int, workers int) {
+	for _, p := range pairs {
+		s.checkQubit(p[0])
+		s.checkQubit(p[1])
+		if p[0] == p[1] {
+			panic(fmt.Sprintf("statevec: CZ on identical qubit %d", p[0]))
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	words := signMask(s.n, pairs)
+	amp := s.amp
+	parallelFor(workers, len(words), len(amp), func(lo, hi int) {
+		applySigns(amp, words, lo, hi)
+	})
+}
+
+// lowBitMask[q] has bit i set exactly when index bit q of i is set, for
+// the six index bits that live inside one 64-bit word.
+var lowBitMask = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// signMask builds the parity bitset of a CZ run on an n-qubit register:
+// bit i of the result is set when an odd number of pairs have both
+// their qubit bits set in i. The bitset is 2^n bits — 1/128th of the
+// amplitude array — so constructing it is cheap even when the run is
+// long: each pair flips 2^n/4 bits word-wise (whole words for qubits
+// >= 6, repeating in-word masks below).
+func signMask(n int, pairs [][2]int) []uint64 {
+	amps := 1 << uint(n)
+	nw := (amps + 63) / 64
+	words := make([]uint64, nw)
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a > b {
+			a, b = b, a
+		}
+		inWord := ^uint64(0)
+		if a < 6 {
+			inWord &= lowBitMask[a]
+		}
+		if b < 6 {
+			inWord &= lowBitMask[b]
+		}
+		switch {
+		case b < 6:
+			// Both qubits live inside the word: every word takes the
+			// combined in-word mask.
+			for w := range words {
+				words[w] ^= inWord
+			}
+		case a < 6:
+			// The high qubit selects word blocks, the low one masks
+			// within them.
+			wb := 1 << uint(b-6)
+			for base := wb; base < nw; base += 2 * wb {
+				for w := base; w < base+wb; w++ {
+					words[w] ^= inWord
+				}
+			}
+		default:
+			// Both qubits select whole words: flip every word with both
+			// word-index bits set.
+			wa, wb := 1<<uint(a-6), 1<<uint(b-6)
+			for base := wb; base < nw; base += 2 * wb {
+				for mid := wa; mid < wb; mid += 2 * wa {
+					for w := base + mid; w < base+mid+wa; w++ {
+						words[w] ^= ^uint64(0)
+					}
+				}
+			}
+		}
+	}
+	// Registers below one word leave garbage above 2^n; clear it so the
+	// apply sweep never indexes past the amplitude array.
+	if amps < 64 {
+		words[0] &= (1 << uint(amps)) - 1
+	}
+	return words
+}
+
+// applySigns negates amp[i] for every set bit of words over the word
+// range [lo, hi).
+func applySigns(amp []complex128, words []uint64, lo, hi int) {
+	for w := lo; w < hi; w++ {
+		word := words[w]
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			amp[i] = -amp[i]
+			word &= word - 1
+		}
+	}
+}

@@ -26,21 +26,28 @@ import (
 // complex128) is already beyond what the test suite exercises.
 const MaxQubits = 24
 
-// parallelism is the configured worker count for gate kernels; 0 selects
-// GOMAXPROCS. It is read atomically so concurrent simulations and a
-// configuration change never race.
+// parallelism is the configured package-default worker count for gate
+// kernels; 0 selects GOMAXPROCS. It is read atomically so concurrent
+// simulations and a configuration change never race. A Batch can carry
+// its own worker bound (BatchConfig.Workers) and fall back here only
+// when unset, so concurrent batches with different parallelism needs
+// never fight over this global.
 var parallelism atomic.Int32
 
 // parallelThreshold is the minimum amplitude count before a gate kernel
-// fans out to goroutines; below it the dispatch overhead exceeds the work.
-// It is a variable so tests can drive the parallel path on small states.
-var parallelThreshold = 1 << 14
+// fans out to goroutines; below it the dispatch overhead exceeds the
+// work. It is atomic because tests lower it to drive the parallel path
+// on small states while kernels on other goroutines are reading it.
+var parallelThreshold atomic.Int64
 
-// SetParallelism sets the number of goroutines gate kernels may use on
-// large states: n <= 0 restores the default (GOMAXPROCS), 1 forces serial
-// execution. Kernels are element-wise on disjoint index sets and the
-// reductions accumulate over fixed chunk boundaries, so results are
-// byte-identical for every setting.
+func init() { parallelThreshold.Store(1 << 14) }
+
+// SetParallelism sets the package-default number of goroutines gate
+// kernels may use on large states: n <= 0 restores the default
+// (GOMAXPROCS), 1 forces serial execution. Kernels are element-wise on
+// disjoint index sets and the reductions accumulate over fixed chunk
+// boundaries, so results are byte-identical for every setting. Batches
+// can override the default per instance via BatchConfig.Workers.
 func SetParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -48,7 +55,7 @@ func SetParallelism(n int) {
 	parallelism.Store(int32(n))
 }
 
-// Parallelism returns the effective worker count.
+// Parallelism returns the effective package-default worker count.
 func Parallelism() int {
 	if n := int(parallelism.Load()); n > 0 {
 		return n
@@ -59,15 +66,18 @@ func Parallelism() int {
 // parallelFor splits [0, total) into one contiguous chunk per worker and
 // runs f on each chunk in its own goroutine. It runs f(0, total) inline
 // when the state is below the parallel threshold or one worker is
-// configured. Chunk boundaries never influence results: gate kernels are
+// requested. Chunk boundaries never influence results: gate kernels are
 // element-wise, and reductions fix their own accumulation grain
-// (reduceChunk) independent of the split.
-func parallelFor(total, amps int, f func(lo, hi int)) {
-	workers := Parallelism()
+// (reduceChunk) independent of the split. workers <= 0 selects the
+// package default.
+func parallelFor(workers, total, amps int, f func(lo, hi int)) {
+	if workers <= 0 {
+		workers = Parallelism()
+	}
 	if workers > total {
 		workers = total
 	}
-	if workers <= 1 || amps < parallelThreshold {
+	if workers <= 1 || int64(amps) < parallelThreshold.Load() {
 		f(0, total)
 		return
 	}
@@ -109,6 +119,15 @@ func NewZero(n int) *State {
 // comparisons sensitive to any gate discrepancy.
 func NewRandom(n int, rng *rand.Rand) *State {
 	s := NewZero(n)
+	s.Randomize(rng)
+	return s
+}
+
+// Randomize overwrites the state with NewRandom's distribution, drawing
+// from rng in the same order, so filling a Batch slot through a view
+// produces amplitudes bit-identical to a standalone NewRandom under the
+// same seed.
+func (s *State) Randomize(rng *rand.Rand) {
 	norm := 0.0
 	for i := range s.amp {
 		re, im := rng.NormFloat64(), rng.NormFloat64()
@@ -119,7 +138,15 @@ func NewRandom(n int, rng *rand.Rand) *State {
 	for i := range s.amp {
 		s.amp[i] *= scale
 	}
-	return s
+}
+
+// CopyFrom overwrites the state with o's amplitudes.
+// It panics on register-size mismatch.
+func (s *State) CopyFrom(o *State) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("statevec: register sizes %d and %d differ", s.n, o.n))
+	}
+	copy(s.amp, o.amp)
 }
 
 // Qubits returns the register size.
@@ -159,7 +186,7 @@ func (s *State) Norm() float64 {
 	}
 	chunks := (len(amp) + reduceChunk - 1) / reduceChunk
 	partials := make([]float64, chunks)
-	parallelFor(chunks, len(amp), func(lo, hi int) {
+	parallelFor(0, chunks, len(amp), func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			end := (c + 1) * reduceChunk
 			if end > len(amp) {
@@ -200,48 +227,121 @@ func pairIndex(p, mask int) int {
 	return ((p &^ mask) << 1) | (p & mask)
 }
 
+// The rank-range kernels below are the shared inner loops of State and
+// Batch: each walks pair ranks [lo, hi) of one state's amplitude slice.
+// They are element-wise on disjoint index sets, so any tiling of the
+// rank space — per-state, per-block, or across a whole batch — produces
+// bit-identical amplitudes.
+
+// hKernel applies a Hadamard over pair ranks [lo, hi); bit = 1<<q,
+// mask = bit-1.
+func hKernel(amp []complex128, bit, mask, lo, hi int) {
+	inv := complex(1/math.Sqrt2, 0)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p < end; p++ {
+			a, b := amp[i], amp[i+bit]
+			amp[i] = inv * (a + b)
+			amp[i+bit] = inv * (a - b)
+			i++
+		}
+	}
+}
+
+// xKernel applies a Pauli-X over pair ranks [lo, hi).
+func xKernel(amp []complex128, bit, mask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p < end; p++ {
+			amp[i], amp[i+bit] = amp[i+bit], amp[i]
+			i++
+		}
+	}
+}
+
+// rzKernel multiplies the bit-set half of each pair by phase over pair
+// ranks [lo, hi).
+func rzKernel(amp []complex128, bit, mask int, phase complex128, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask) + bit
+		for ; p < end; p++ {
+			amp[i] *= phase
+			i++
+		}
+	}
+}
+
+// czKernel negates amplitudes with both bits set over quad ranks
+// [lo, hi); loBit < hiBit, masks are bit-1.
+func czKernel(amp []complex128, loBit, hiBit, loMask, hiMask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | loMask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, loMask)
+		i = pairIndex(i, hiMask) | loBit | hiBit
+		for ; p < end; p++ {
+			amp[i] = -amp[i]
+			i++
+		}
+	}
+}
+
+// u2Kernel applies the 2x2 matrix u (row-major) to each (i, i+bit) pair
+// over pair ranks [lo, hi) — the fused form of a run of single-qubit
+// gates.
+func u2Kernel(amp []complex128, bit, mask int, u [4]complex128, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p < end; p++ {
+			a, b := amp[i], amp[i+bit]
+			amp[i] = u[0]*a + u[1]*b
+			amp[i+bit] = u[2]*a + u[3]*b
+			i++
+		}
+	}
+}
+
 // H applies a Hadamard to qubit q.
-func (s *State) H(q int) {
+func (s *State) H(q int) { s.h(q, 0) }
+
+func (s *State) h(q, workers int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	inv := complex(1/math.Sqrt2, 0)
 	amp := s.amp
 	mask := bit - 1
-	parallelFor(len(amp)/2, len(amp), func(lo, hi int) {
-		for p := lo; p < hi; {
-			end := (p | mask) + 1
-			if end > hi {
-				end = hi
-			}
-			i := pairIndex(p, mask)
-			for ; p < end; p++ {
-				a, b := amp[i], amp[i+bit]
-				amp[i] = inv * (a + b)
-				amp[i+bit] = inv * (a - b)
-				i++
-			}
-		}
+	parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+		hKernel(amp, bit, mask, lo, hi)
 	})
 }
 
 // X applies a Pauli-X (NOT) to qubit q.
-func (s *State) X(q int) {
+func (s *State) X(q int) { s.x(q, 0) }
+
+func (s *State) x(q, workers int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
 	amp := s.amp
 	mask := bit - 1
-	parallelFor(len(amp)/2, len(amp), func(lo, hi int) {
-		for p := lo; p < hi; {
-			end := (p | mask) + 1
-			if end > hi {
-				end = hi
-			}
-			i := pairIndex(p, mask)
-			for ; p < end; p++ {
-				amp[i], amp[i+bit] = amp[i+bit], amp[i]
-				i++
-			}
-		}
+	parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+		xKernel(amp, bit, mask, lo, hi)
 	})
 }
 
@@ -251,30 +351,38 @@ func (s *State) Z(q int) {
 }
 
 // RZ applies a phase rotation diag(1, e^{i*theta}) to qubit q.
-func (s *State) RZ(q int, theta float64) {
+func (s *State) RZ(q int, theta float64) { s.rz(q, theta, 0) }
+
+func (s *State) rz(q int, theta float64, workers int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
 	phase := cmplx.Exp(complex(0, theta))
 	amp := s.amp
 	mask := bit - 1
-	parallelFor(len(amp)/2, len(amp), func(lo, hi int) {
-		for p := lo; p < hi; {
-			end := (p | mask) + 1
-			if end > hi {
-				end = hi
-			}
-			i := pairIndex(p, mask) + bit
-			for ; p < end; p++ {
-				amp[i] *= phase
-				i++
-			}
-		}
+	parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+		rzKernel(amp, bit, mask, phase, lo, hi)
+	})
+}
+
+// ApplyU2 applies an arbitrary 2x2 matrix u (row-major) to qubit q —
+// the kernel behind fused runs of single-qubit gates (see Fuse).
+func (s *State) ApplyU2(q int, u [4]complex128) { s.applyU2(q, u, 0) }
+
+func (s *State) applyU2(q int, u [4]complex128, workers int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	amp := s.amp
+	mask := bit - 1
+	parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+		u2Kernel(amp, bit, mask, u, lo, hi)
 	})
 }
 
 // CZ applies a controlled-Z between qubits a and b.
 // It panics if a == b.
-func (s *State) CZ(a, b int) {
+func (s *State) CZ(a, b int) { s.cz(a, b, 0) }
+
+func (s *State) cz(a, b, workers int) {
 	s.checkQubit(a)
 	s.checkQubit(b)
 	if a == b {
@@ -288,19 +396,8 @@ func (s *State) CZ(a, b int) {
 	amp := s.amp
 	// Rank space: indexes with both bits set, enumerated by expanding the
 	// rank around the low bit, then the high bit, in runs of loBit.
-	parallelFor(len(amp)/4, len(amp), func(lo, hi int) {
-		for p := lo; p < hi; {
-			end := (p | loMask) + 1
-			if end > hi {
-				end = hi
-			}
-			i := pairIndex(p, loMask)
-			i = pairIndex(i, hiMask) | loBit | hiBit
-			for ; p < end; p++ {
-				amp[i] = -amp[i]
-				i++
-			}
-		}
+	parallelFor(workers, len(amp)/4, len(amp), func(lo, hi int) {
+		czKernel(amp, loBit, hiBit, loMask, hiMask, lo, hi)
 	})
 }
 
@@ -329,7 +426,7 @@ func (s *State) InnerProduct(o *State) complex128 {
 	}
 	chunks := (len(sa) + reduceChunk - 1) / reduceChunk
 	partials := make([]complex128, chunks)
-	parallelFor(chunks, len(sa), func(lo, hi int) {
+	parallelFor(0, chunks, len(sa), func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			end := (c + 1) * reduceChunk
 			if end > len(sa) {

@@ -1,0 +1,136 @@
+// Batched verification: AllBatch runs the full checker suite over a
+// whole corpus, simulating every deferred state-vector case through the
+// statevec batch engine instead of one independent simulation per item.
+// The structural and physical checkers are untouched — only the oracle
+// tier batches — and verdicts are bit-identical to calling All per item,
+// because the batch kernels are bit-identical to the single-state ones
+// and every case keeps its own seeded start state.
+package verify
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"powermove/internal/circuit"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
+	"powermove/internal/statevec"
+)
+
+// Item is one verification job: the source circuit, the compiled
+// program, and the initial layout the program starts from.
+type Item struct {
+	Circ    *circuit.Circuit
+	Prog    *isa.Program
+	Initial *layout.Layout
+}
+
+// BatchOptions tunes AllBatch.
+type BatchOptions struct {
+	// Workers bounds the goroutines the batched simulations use;
+	// 0 falls back to the statevec package default.
+	Workers int
+}
+
+// maxBatchAmps caps the amplitude buffer of one Batch run (2^24
+// complex128 = 256 MiB): corpora whose combined state exceeds it are
+// simulated in successive chunks rather than one giant allocation.
+const maxBatchAmps = 1 << 24
+
+// AllBatch verifies every item — physical legality, structural
+// equivalence, and the state-vector oracle — and returns one report per
+// item plus the aggregate oracle accounting. Oracle cases are grouped
+// by register size and simulated as shared Batch runs; each report's
+// verdict and violations are identical to All(item...), with per-item
+// Oracle stats attached (per-item ElapsedNS stays zero — wall-clock
+// lives on the aggregate, which in-process consumers read).
+func AllBatch(items []Item, opts BatchOptions) ([]*Report, OracleStats) {
+	reports := make([]*Report, len(items))
+	type pending struct {
+		idx int
+		c   *oracleCase
+	}
+	byQubits := make(map[int][]pending)
+	for i, it := range items {
+		r := CheckPhysical(it.Prog, it.Initial)
+		eq := &Report{}
+		if c := checkEquivalenceStructural(eq, it.Circ, it.Prog); c != nil {
+			byQubits[c.n] = append(byQubits[c.n], pending{i, c})
+		}
+		r.merge(eq)
+		reports[i] = r
+	}
+
+	var agg OracleStats
+	start := time.Now()
+	sizes := make([]int, 0, len(byQubits))
+	for n := range byQubits {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes) // deterministic run order (stats are order-free anyway)
+	for _, n := range sizes {
+		cases := byQubits[n]
+		// Chunk so one run's buffer stays under maxBatchAmps (every case
+		// needs two states of 2^n amplitudes; at n = MaxOracleQubits a
+		// chunk is a single case).
+		perChunk := maxBatchAmps / (2 << uint(n))
+		if perChunk < 1 {
+			perChunk = 1
+		}
+		for lo := 0; lo < len(cases); lo += perChunk {
+			hi := lo + perChunk
+			if hi > len(cases) {
+				hi = len(cases)
+			}
+			chunk := cases[lo:hi]
+			b := statevec.NewBatch(statevec.BatchConfig{
+				Qubits:  n,
+				States:  2 * len(chunk),
+				Workers: opts.Workers,
+			})
+			// Fill reference slots from each case's own seed (bit-identical
+			// to the standalone oracle's NewRandom) and copy into the
+			// compiled slots. Slots are disjoint, so filling parallelizes
+			// over cases.
+			fillers := opts.Workers
+			if fillers <= 0 {
+				fillers = statevec.Parallelism()
+			}
+			if fillers > len(chunk) {
+				fillers = len(chunk)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < fillers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for j := w; j < len(chunk); j += fillers {
+						rng := rand.New(rand.NewSource(chunk[j].c.seed))
+						b.State(2 * j).Randomize(rng)
+						b.State(2*j + 1).CopyFrom(b.State(2 * j))
+					}
+				}(w)
+			}
+			wg.Wait()
+			progs := make([][]statevec.Op, 2*len(chunk))
+			for j, p := range chunk {
+				progs[2*j] = p.c.src
+				progs[2*j+1] = p.c.cmp
+			}
+			b.Run(progs)
+			for j, p := range chunk {
+				compareOracle(reports[p.idx], b.State(2*j), b.State(2*j+1))
+				st := p.c.stats()
+				if reports[p.idx].Oracle == nil {
+					reports[p.idx].Oracle = &OracleStats{}
+				}
+				reports[p.idx].Oracle.accumulate(st)
+				agg.accumulate(st)
+			}
+		}
+	}
+	agg.ElapsedNS = time.Since(start).Nanoseconds()
+	return reports, agg
+}

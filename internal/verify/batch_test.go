@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"testing"
+
+	"powermove/internal/workload"
+)
+
+// TestAllBatchMatchesAll is the batched oracle's agreement theorem in
+// deterministic form (the fuzz harness asserts the same property on
+// everything it explores): over a corpus mixing register sizes, oracle
+// tiers, clean compiles, and deliberately broken pairings, AllBatch
+// must reproduce All's reports exactly — violations, equivalence mode,
+// and oracle accounting — and its aggregate stats must be the sum of
+// the per-item ones.
+func TestAllBatchMatchesAll(t *testing.T) {
+	var items []Item
+	add := func(it Item) { items = append(items, it) }
+
+	// Clean compiles across sizes and schemes (statevec tier).
+	for _, n := range []int{6, 10, 12} {
+		cfg := workload.RandomConfig{Qubits: n, Blocks: 3, Density: 0.4}
+		c := workload.Random(cfg, int64(n))
+		res := compile(t, c, "with-storage", 1)
+		add(Item{Circ: c, Prog: res.Program, Initial: res.Initial})
+	}
+	// Same register size twice — these share one Batch run.
+	{
+		c := workload.QFT(9)
+		res := compile(t, c, "enola", 1)
+		add(Item{Circ: c, Prog: res.Program, Initial: res.Initial})
+		c2 := workload.BV(9, 5)
+		res2 := compile(t, c2, "non-storage", 1)
+		add(Item{Circ: c2, Prog: res2.Program, Initial: res2.Initial})
+	}
+	// Structural tier: above MaxOracleQubits, no simulation, no Oracle
+	// stats.
+	{
+		cfg := workload.RandomConfig{Qubits: MaxOracleQubits + 1, Blocks: 2, Density: 0.05}
+		c := workload.Random(cfg, 99)
+		res := compile(t, c, "non-storage", 1)
+		add(Item{Circ: c, Prog: res.Program, Initial: res.Initial})
+	}
+	// Broken pairings: two different 8-qubit circuits with their
+	// programs swapped — the oracle must convict both, identically in
+	// both paths.
+	{
+		ca := workload.Random(workload.RandomConfig{Qubits: 8, Blocks: 3, Density: 0.5}, 1)
+		cb := workload.Random(workload.RandomConfig{Qubits: 8, Blocks: 3, Density: 0.5}, 2)
+		ra := compile(t, ca, "with-storage", 1)
+		rb := compile(t, cb, "with-storage", 1)
+		add(Item{Circ: ca, Prog: rb.Program, Initial: rb.Initial})
+		add(Item{Circ: cb, Prog: ra.Program, Initial: ra.Initial})
+	}
+	// Nil program: reported structurally, no oracle case.
+	add(Item{Circ: workload.QFT(5), Prog: nil, Initial: nil})
+
+	batched, agg := AllBatch(items, BatchOptions{})
+	if len(batched) != len(items) {
+		t.Fatalf("AllBatch returned %d reports for %d items", len(batched), len(items))
+	}
+	var want OracleStats
+	sawViolations, sawStructural := false, false
+	for i, it := range items {
+		r := All(it.Circ, it.Prog, it.Initial)
+		rb := batched[i]
+		if len(rb.Violations) != len(r.Violations) {
+			t.Fatalf("item %d: batched %d violation(s), per-item %d:\nbatched: %s\nper-item: %s",
+				i, len(rb.Violations), len(r.Violations), rb, r)
+		}
+		for j, v := range r.Violations {
+			bv := rb.Violations[j]
+			if bv.Code != v.Code || bv.Instr != v.Instr || bv.Detail != v.Detail {
+				t.Errorf("item %d violation %d differs:\nbatched: %s\nper-item: %s", i, j, bv, v)
+			}
+		}
+		if rb.EquivalenceMode != r.EquivalenceMode {
+			t.Errorf("item %d: batched mode %q, per-item %q", i, rb.EquivalenceMode, r.EquivalenceMode)
+		}
+		if rb.OK() != r.OK() {
+			t.Errorf("item %d: batched OK=%v, per-item OK=%v", i, rb.OK(), r.OK())
+		}
+		if (r.Oracle == nil) != (rb.Oracle == nil) {
+			t.Fatalf("item %d: oracle stats presence differs (batched %+v, per-item %+v)", i, rb.Oracle, r.Oracle)
+		}
+		if r.Oracle != nil {
+			if rb.Oracle.States != r.Oracle.States || rb.Oracle.Amps != r.Oracle.Amps ||
+				rb.Oracle.GatesIn != r.Oracle.GatesIn || rb.Oracle.GatesApplied != r.Oracle.GatesApplied {
+				t.Errorf("item %d: oracle stats differ (batched %+v, per-item %+v)", i, rb.Oracle, r.Oracle)
+			}
+			if rb.Oracle.ElapsedNS != 0 {
+				t.Errorf("item %d: batched per-item ElapsedNS = %d, want 0 (wall clock lives on the aggregate)", i, rb.Oracle.ElapsedNS)
+			}
+			want.Add(*rb.Oracle)
+		}
+		if !r.OK() {
+			sawViolations = true
+		}
+		if r.EquivalenceMode == "structural" {
+			sawStructural = true
+		}
+	}
+	if !sawViolations {
+		t.Error("corpus produced no violations — the broken pairings should convict")
+	}
+	if !sawStructural {
+		t.Error("corpus exercised no structural-tier item")
+	}
+	if agg.States != want.States || agg.Amps != want.Amps ||
+		agg.GatesIn != want.GatesIn || agg.GatesApplied != want.GatesApplied {
+		t.Errorf("aggregate stats %+v are not the sum of per-item stats %+v", agg, want)
+	}
+	if agg.States == 0 {
+		t.Error("aggregate counted no simulated states")
+	}
+}
+
+// TestAllBatchWorkersAgree pins the batched verdicts worker-independent:
+// every Workers setting must produce identical reports (the kernels are
+// bit-identical under any tiling).
+func TestAllBatchWorkersAgree(t *testing.T) {
+	var items []Item
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := workload.RandomConfig{Qubits: 10, Blocks: 3, Density: 0.5}
+		c := workload.Random(cfg, seed)
+		res := compile(t, c, "with-storage", 1)
+		items = append(items, Item{Circ: c, Prog: res.Program, Initial: res.Initial})
+	}
+	ref, refAgg := AllBatch(items, BatchOptions{Workers: 1})
+	for _, workers := range []int{0, 2, 8} {
+		got, agg := AllBatch(items, BatchOptions{Workers: workers})
+		for i := range items {
+			if got[i].String() != ref[i].String() {
+				t.Errorf("workers=%d item %d: report differs:\n%s\nvs workers=1:\n%s", workers, i, got[i], ref[i])
+			}
+		}
+		if agg.States != refAgg.States || agg.Amps != refAgg.Amps ||
+			agg.GatesIn != refAgg.GatesIn || agg.GatesApplied != refAgg.GatesApplied {
+			t.Errorf("workers=%d: aggregate %+v differs from workers=1 %+v", workers, agg, refAgg)
+		}
+	}
+}

@@ -17,8 +17,14 @@ import (
 // must succeed and the product must be legal and equivalent.
 //
 // The committed seed corpus (testdata/fuzz/FuzzCompileVerify) pins one
-// input per pipeline x grouping x AOD shape; `go test` replays it on
-// every run, and CI's fuzz job explores beyond it.
+// input per pipeline x grouping x AOD shape, plus one per register size
+// of the >18-qubit oracle tier (19..22, the fused batched path); `go
+// test` replays it on every run, and CI's fuzz job explores beyond it.
+//
+// Every execution also runs the batched oracle (AllBatch) over the same
+// compile and demands verdict agreement with the per-item path — the
+// two must produce identical violations, because the batch kernels are
+// bit-identical to the single-state ones.
 func FuzzCompileVerify(f *testing.F) {
 	//            seed  qubits blocks density scheme aods grouping
 	f.Add(int64(1), int64(8), int64(3), int64(30), int64(0), int64(1), int64(0))
@@ -27,10 +33,32 @@ func FuzzCompileVerify(f *testing.F) {
 	f.Add(int64(4), int64(6), int64(2), int64(80), int64(2), int64(4), int64(2))
 	f.Add(int64(5), int64(2), int64(1), int64(99), int64(1), int64(3), int64(1))
 	f.Add(int64(6), int64(14), int64(6), int64(10), int64(0), int64(1), int64(0))
+	// The deep-oracle tier: qubits = 15, 31, 47, 63 select registers of
+	// 19, 20, 21, and 22 qubits (see the mapping below) — the sizes the
+	// unfused oracle could never afford. Densities are kept low so the
+	// compiles stay cheap; the oracle cost is dominated by the register.
+	f.Add(int64(7), int64(15), int64(1), int64(5), int64(1), int64(1), int64(0))
+	f.Add(int64(8), int64(31), int64(1), int64(8), int64(2), int64(2), int64(1))
+	f.Add(int64(9), int64(47), int64(0), int64(6), int64(0), int64(1), int64(0))
+	f.Add(int64(10), int64(63), int64(0), int64(4), int64(2), int64(1), int64(2))
 	f.Fuzz(func(t *testing.T, seed, qubits, blocks, density, scheme, aods, grouping int64) {
+		// 15 of every 16 inputs land in 2..14 (cheap, dense coverage);
+		// the 16th lands in 19..22, exercising the deep oracle tier on
+		// multi-MB registers.
+		q := abs(qubits)
+		n := 2 + q%13
+		if q%16 == 15 {
+			n = 19 + (q/16)%4
+			if raceEnabled {
+				// Race shadow memory makes 2^21+-amplitude simulations
+				// prohibitively slow; keep the deep tier but cap it at
+				// 20 qubits so -race runs stay in budget.
+				n = 19 + (q/16)%2
+			}
+		}
 		cfg := workload.RandomConfig{
-			Qubits:  2 + abs(qubits)%13, // 2..14: statevec oracle always applies
-			Blocks:  1 + abs(blocks)%6,  // 1..6 dependent blocks
+			Qubits:  n,
+			Blocks:  1 + abs(blocks)%6, // 1..6 dependent blocks
 			Density: 0.05 + float64(abs(density)%100)/110.0,
 		}
 		circ := workload.Random(cfg, seed)
@@ -65,7 +93,35 @@ func FuzzCompileVerify(f *testing.F) {
 		if err != nil {
 			t.Fatalf("compile %s: %v", circ.Name, err)
 		}
-		if r := All(circ, res.Program, res.Initial); !r.OK() {
+		r := All(circ, res.Program, res.Initial)
+		batched, _ := AllBatch([]Item{{Circ: circ, Prog: res.Program, Initial: res.Initial}}, BatchOptions{})
+		rb := batched[0]
+		// Verdict agreement between the per-item and batched oracle
+		// paths: identical violations (the amplitudes are bit-identical,
+		// so even the rendered details must coincide) and mode.
+		if len(rb.Violations) != len(r.Violations) {
+			t.Fatalf("batched oracle found %d violation(s), per-item %d:\nbatched: %s\nper-item: %s",
+				len(rb.Violations), len(r.Violations), rb, r)
+		}
+		for i, v := range r.Violations {
+			bv := rb.Violations[i]
+			if bv.Code != v.Code || bv.Instr != v.Instr || bv.Detail != v.Detail {
+				t.Fatalf("batched violation %d differs:\nbatched: %s\nper-item: %s", i, bv, v)
+			}
+		}
+		if rb.EquivalenceMode != r.EquivalenceMode {
+			t.Fatalf("batched oracle mode %q, per-item %q", rb.EquivalenceMode, r.EquivalenceMode)
+		}
+		if (r.Oracle == nil) != (rb.Oracle == nil) {
+			t.Fatalf("oracle accounting presence differs: batched %+v, per-item %+v", rb.Oracle, r.Oracle)
+		}
+		if r.Oracle != nil {
+			if rb.Oracle.States != r.Oracle.States || rb.Oracle.Amps != r.Oracle.Amps ||
+				rb.Oracle.GatesIn != r.Oracle.GatesIn || rb.Oracle.GatesApplied != r.Oracle.GatesApplied {
+				t.Fatalf("oracle accounting differs: batched %+v, per-item %+v", rb.Oracle, r.Oracle)
+			}
+		}
+		if !r.OK() {
 			t.Fatalf("compile %s (%d AODs) produced an illegal or inequivalent program:\n%s",
 				circ.Name, hw.AODs, r)
 		}

@@ -6,10 +6,19 @@
 // preserved — and (b) a numeric state-vector check that the gate
 // sequences agree on a random state, which catches any discrepancy the
 // structural walk can express but mis-judges.
+//
+// The numeric check runs on the batched engine: both gate sequences are
+// lowered to statevec programs and fused (a CZ-only sequence collapses
+// to a handful of single-pass sign sweeps, bit-identical to sequential
+// application), and AllBatch simulates whole corpora of deferred cases
+// as shared Batch runs. Fusion is what affords MaxOracleQubits = 22:
+// the sign pass costs one sweep over the state however many gates the
+// circuit has.
 package verify
 
 import (
 	"math/rand"
+	"time"
 
 	"powermove/internal/circuit"
 	"powermove/internal/exact"
@@ -18,9 +27,12 @@ import (
 )
 
 // MaxOracleQubits bounds the register size the state-vector oracle
-// simulates (2^18 amplitudes, a few milliseconds per check). Larger
-// registers fall back to the structural check plus exact spot checks.
-const MaxOracleQubits = 18
+// simulates. Gate fusion turned the per-check cost from gates x 2^n
+// into a near-constant number of passes over 2^n amplitudes, which is
+// what affords 2^22 (64 MiB of complex128 per state) where the unfused
+// oracle stopped at 2^18. Larger registers fall back to the structural
+// check plus exact spot checks.
+const MaxOracleQubits = 22
 
 // OracleTolerance is the max-norm amplitude tolerance of the
 // state-vector comparison; the gate set is phase-exact, so any genuine
@@ -31,29 +43,162 @@ const OracleTolerance = 1e-9
 // re-verifies against the branch-and-bound partitioner per circuit.
 const maxExactSpotChecks = 4
 
+// OracleStats counts the state-vector oracle work a verification
+// performed — the raw material of the /metrics throughput counters.
+// All fields are pure functions of the verified inputs except
+// ElapsedNS, which is wall-clock and therefore excluded from JSON so
+// summaries stay byte-deterministic.
+type OracleStats struct {
+	// States is the number of state-vector simulations run (two per
+	// oracle case: reference and compiled).
+	States int64 `json:"states"`
+	// Amps is the total amplitude count across those states.
+	Amps int64 `json:"amps"`
+	// GatesIn is the gate count handed to the oracle before fusion;
+	// GatesApplied is the operation count actually executed after it.
+	GatesIn      int64 `json:"gates_in"`
+	GatesApplied int64 `json:"gates_applied"`
+	// ElapsedNS is the wall-clock oracle time. In-process consumers
+	// (the service ledger) read it; serialized artifacts must not.
+	ElapsedNS int64 `json:"-"`
+}
+
+// Add folds o into s.
+func (s *OracleStats) Add(o OracleStats) { s.accumulate(&o) }
+
+// accumulate folds o into s.
+func (s *OracleStats) accumulate(o *OracleStats) {
+	if o == nil {
+		return
+	}
+	s.States += o.States
+	s.Amps += o.Amps
+	s.GatesIn += o.GatesIn
+	s.GatesApplied += o.GatesApplied
+	s.ElapsedNS += o.ElapsedNS
+}
+
 // CheckEquivalence verifies that prog is semantically equivalent to
 // circ. Registers up to MaxOracleQubits get the exact state-vector
 // oracle on top of the structural walk; larger ones get the structural
 // walk plus internal/exact spot checks of their small blocks.
 func CheckEquivalence(circ *circuit.Circuit, prog *isa.Program) *Report {
 	r := &Report{}
+	if c := checkEquivalenceStructural(r, circ, prog); c != nil {
+		start := time.Now()
+		ref, got := c.run()
+		compareOracle(r, ref, got)
+		r.Oracle = c.stats()
+		r.Oracle.ElapsedNS = time.Since(start).Nanoseconds()
+	}
+	return r
+}
+
+// checkEquivalenceStructural runs every non-numeric equivalence check
+// and returns the deferred state-vector case when the register is small
+// enough for the oracle tier, nil otherwise (structural tier, nil
+// inputs, or gate streams the simulator cannot apply — the latter are
+// already reported structurally).
+func checkEquivalenceStructural(r *Report, circ *circuit.Circuit, prog *isa.Program) *oracleCase {
 	if circ == nil || prog == nil {
 		r.add(GateLoss, -1, nil, "nil circuit or program")
-		return r
+		return nil
 	}
 	if circ.Qubits != prog.Qubits {
 		r.add(GateLoss, -1, nil, "circuit has %d qubits, program has %d", circ.Qubits, prog.Qubits)
-		return r
+		return nil
 	}
 	structuralCheck(r, circ, prog)
-	if circ.Qubits <= MaxOracleQubits {
-		r.EquivalenceMode = "statevec"
-		statevecCheck(r, circ, prog)
-	} else {
+	if circ.Qubits > MaxOracleQubits {
 		r.EquivalenceMode = "structural"
 		exactSpotCheck(r, circ, prog)
+		return nil
 	}
-	return r
+	r.EquivalenceMode = "statevec"
+	return newOracleCase(circ, prog)
+}
+
+// oracleCase is one deferred state-vector comparison: the fused source
+// and compiled gate programs plus the seed of the shared random start
+// state. Cases are what AllBatch groups into shared Batch runs.
+type oracleCase struct {
+	n        int
+	seed     int64
+	src, cmp []statevec.Op
+	gatesIn  int64
+}
+
+// newOracleCase lowers both gate streams to fused statevec programs.
+// It returns nil when either stream contains a gate the simulator
+// cannot apply (out-of-range or self-paired qubits) — those are the
+// structural checker's findings; the oracle has nothing to add.
+func newOracleCase(circ *circuit.Circuit, prog *isa.Program) *oracleCase {
+	lower := func(gates []circuit.CZ) ([]statevec.Op, bool) {
+		ops := make([]statevec.Op, 0, len(gates))
+		for _, g := range gates {
+			if g.A < 0 || g.B < 0 || g.A >= circ.Qubits || g.B >= circ.Qubits || g.A == g.B {
+				return nil, false
+			}
+			ops = append(ops, statevec.GateCZ(g.A, g.B))
+		}
+		return ops, true
+	}
+	var source []circuit.CZ
+	for bi := range circ.Blocks {
+		source = append(source, circ.Blocks[bi].Gates...)
+	}
+	compiled := compiledCZOrder(prog)
+	src, ok := lower(source)
+	if !ok {
+		return nil
+	}
+	cmp, ok := lower(compiled)
+	if !ok {
+		return nil
+	}
+	c := &oracleCase{
+		n:       circ.Qubits,
+		seed:    oracleSeed(circ),
+		src:     statevec.Fuse(src),
+		cmp:     statevec.Fuse(cmp),
+		gatesIn: int64(len(src) + len(cmp)),
+	}
+	return c
+}
+
+// run simulates the case standalone: reference and compiled states from
+// the same seeded random start, each applying its fused program. The
+// amplitudes — and hence the verdict — are bit-identical to the batched
+// path (AllBatch) and to the historical unfused gate-by-gate oracle,
+// because CZ fusion only reorders exact sign flips.
+func (c *oracleCase) run() (ref, got *statevec.State) {
+	rng := rand.New(rand.NewSource(c.seed))
+	ref = statevec.NewRandom(c.n, rng)
+	got = ref.Clone()
+	ref.Apply(c.src)
+	got.Apply(c.cmp)
+	return ref, got
+}
+
+// stats returns the oracle accounting of the case (ElapsedNS unset —
+// the runner owns the clock).
+func (c *oracleCase) stats() *OracleStats {
+	return &OracleStats{
+		States:       2,
+		Amps:         2 << uint(c.n),
+		GatesIn:      c.gatesIn,
+		GatesApplied: int64(len(c.src) + len(c.cmp)),
+	}
+}
+
+// compareOracle renders the state-vector verdict into r: the compiled
+// state must coincide with the reference amplitude for amplitude.
+func compareOracle(r *Report, ref, got *statevec.State) {
+	if !got.Equal(ref, OracleTolerance) {
+		r.add(StateMismatch, -1, nil,
+			"state-vector oracle: compiled program diverges from the source circuit (fidelity %.12f)",
+			ref.Fidelity(got))
+	}
 }
 
 // compiledCZOrder extracts the CZ gates prog executes, in pulse order.
@@ -121,35 +266,6 @@ func oracleSeed(circ *circuit.Circuit) int64 {
 		h *= 1099511628211
 	}
 	return h ^ int64(circ.Qubits)*2654435761
-}
-
-// statevecCheck runs the source and compiled CZ sequences on one seeded
-// random state and demands they coincide amplitude for amplitude. CZ
-// gates are diagonal and phase-exact, so equality is exact up to float
-// roundoff; a random (entangled, dense) start state makes the check
-// sensitive to any single gate discrepancy. 1Q layers carry no gate
-// identity in the IR and are accounted structurally instead.
-func statevecCheck(r *Report, circ *circuit.Circuit, prog *isa.Program) {
-	rng := rand.New(rand.NewSource(oracleSeed(circ)))
-	ref := statevec.NewRandom(circ.Qubits, rng)
-	got := ref.Clone()
-	for bi := range circ.Blocks {
-		for _, g := range circ.Blocks[bi].Gates {
-			ref.CZ(g.A, g.B)
-		}
-	}
-	for _, g := range compiledCZOrder(prog) {
-		if g.A < 0 || g.B < 0 || g.A >= circ.Qubits || g.B >= circ.Qubits || g.A == g.B {
-			// Already reported structurally; the oracle cannot apply it.
-			return
-		}
-		got.CZ(g.A, g.B)
-	}
-	if !got.Equal(ref, OracleTolerance) {
-		r.add(StateMismatch, -1, nil,
-			"state-vector oracle: compiled program diverges from the source circuit (fidelity %.12f)",
-			ref.Fidelity(got))
-	}
 }
 
 // exactSpotCheck re-derives, for up to maxExactSpotChecks small blocks,

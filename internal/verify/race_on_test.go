@@ -1,0 +1,8 @@
+//go:build race
+
+package verify
+
+// raceEnabled reports whether the race detector instruments this build;
+// the fuzz harness caps its deep-oracle register sizes under it (race
+// shadow memory makes multi-MB state vectors ~10x slower).
+const raceEnabled = true

@@ -138,6 +138,8 @@ type Report struct {
 	// "statevec" (exact oracle), "structural" (gate accounting + exact
 	// spot checks), or "" when only the physical checker ran.
 	EquivalenceMode string `json:"equivalence_mode,omitempty"`
+	// Oracle accounts the state-vector oracle work, when it ran.
+	Oracle *OracleStats `json:"oracle,omitempty"`
 }
 
 // OK reports whether the verification found no violations.
@@ -157,6 +159,12 @@ func (r *Report) merge(o *Report) {
 	r.Violations = append(r.Violations, o.Violations...)
 	if o.EquivalenceMode != "" {
 		r.EquivalenceMode = o.EquivalenceMode
+	}
+	if o.Oracle != nil {
+		if r.Oracle == nil {
+			r.Oracle = &OracleStats{}
+		}
+		r.Oracle.accumulate(o.Oracle)
 	}
 }
 
@@ -190,6 +198,10 @@ type Summary struct {
 	EquivalenceMode string `json:"equivalence_mode,omitempty"`
 	// Messages holds up to MaxSummaryMessages rendered violations.
 	Messages []string `json:"messages,omitempty"`
+	// Oracle echoes Report.Oracle (deep copy; nil when the oracle did
+	// not run). Every serialized field is a pure function of the
+	// verified inputs, so summaries stay deterministic and cacheable.
+	Oracle *OracleStats `json:"oracle,omitempty"`
 }
 
 // Summary digests the report.
@@ -197,6 +209,10 @@ func (r *Report) Summary() *Summary {
 	s := &Summary{
 		Violations:      len(r.Violations),
 		EquivalenceMode: r.EquivalenceMode,
+	}
+	if r.Oracle != nil {
+		o := *r.Oracle
+		s.Oracle = &o
 	}
 	if len(r.Violations) > 0 {
 		s.Codes = make(map[string]int, 4)

@@ -133,6 +133,13 @@ type (
 	// VerifySummary is the serializable digest of a VerifyReport that
 	// rides on service responses and batch outcomes.
 	VerifySummary = verify.Summary
+	// VerifyItem is one unit of batched verification: a source circuit,
+	// its compiled program, and the initial layout.
+	VerifyItem = verify.Item
+	// VerifyOracleStats accounts the state-vector oracle work a
+	// verification performed (states simulated, amplitudes, gate-fusion
+	// counts).
+	VerifyOracleStats = verify.OracleStats
 )
 
 // Verify runs the differential verification subsystem over a compiled
@@ -148,6 +155,16 @@ type (
 // original.
 func Verify(circ *Circuit, res *CompileResult) *VerifyReport {
 	return verify.All(circ, res.Program, res.Initial)
+}
+
+// VerifyBatch verifies a whole corpus of compiled results at once,
+// simulating every state-vector oracle case through the batched engine
+// (internal/statevec.Batch) instead of one independent simulation per
+// item. Verdicts are bit-identical to calling Verify per item; the
+// returned stats aggregate the oracle work (workers <= 0 selects the
+// simulator's default parallelism).
+func VerifyBatch(items []VerifyItem, workers int) ([]*VerifyReport, VerifyOracleStats) {
+	return verify.AllBatch(items, verify.BatchOptions{Workers: workers})
 }
 
 // RenderLayout draws a layout as an ASCII occupancy grid (computation
