@@ -120,10 +120,12 @@ func main() {
 // line, matching a workload request without/with a "seed" field.
 func runJSON(qasmPath, bench string, n int, seed int64, storage bool, aods int, stable, verify bool) error {
 	req := powermove.ServiceCompileRequest{
-		Scheme: "non-storage",
-		AODs:   aods,
-		Stable: stable,
-		Verify: verify,
+		CompileSpec: powermove.ServiceCompileSpec{
+			Scheme: "non-storage",
+			AODs:   aods,
+			Stable: stable,
+			Verify: verify,
+		},
 	}
 	if storage {
 		req.Scheme = "with-storage"

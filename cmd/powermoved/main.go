@@ -8,14 +8,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/compile                  compile one circuit (QASM or workload;
+//	GET    /v1                        endpoint catalog + build info
+//	POST   /v1/compile                compile one circuit (QASM or workload;
 //	                                  ?verify=1 runs the differential verifier)
-//	POST /v1/batch                    compile many points on the worker pool
-//	GET  /v1/experiments/table/{id}   tables 1, 2, 3          (?stable=1)
-//	GET  /v1/experiments/figure/{id}  figures 6a..6e, 7       (?stable=1)
-//	GET  /healthz                     liveness + uptime
-//	GET  /metrics                     cache/compile/latency/alloc counters
-//	GET  /debug/pprof/*               live profiling (opt-in via -pprof)
+//	POST   /v1/batch                  compile many points on the worker pool
+//	GET    /v1/experiments/table/{id}   tables 1, 2, 3        (?stable=1)
+//	GET    /v1/experiments/figure/{id}  figures 6a..6e, 7     (?stable=1)
+//	POST   /v1/jobs                   submit async work (bounded queue;
+//	                                  429 + Retry-After when full)
+//	GET    /v1/jobs[/{id}[/result|/events]]  poll, fetch, or stream jobs
+//	DELETE /v1/jobs/{id}              cancel a queued or running job
+//	GET    /healthz                   liveness + uptime
+//	GET    /metrics                   cache/compile/queue/store counters
+//	GET    /debug/pprof/*             live profiling (opt-in via -pprof)
 //
 // For the same request, responses are byte-identical to
 // `powermove -json` (both run powermove.CompileJSON's path); CI's smoke
@@ -44,11 +49,29 @@ func main() {
 		addr       = flag.String("addr", ":8077", "listen address")
 		workers    = flag.Int("workers", 0, "max concurrent compiles (<1 selects GOMAXPROCS)")
 		cacheSize  = flag.Int("cache-size", 4096, "compile-cache capacity in outcomes (0 = unbounded)")
+		queueDepth = flag.Int("queue-depth", 256, "async job queue depth; submissions beyond it shed with 429 (<1 selects 256)")
+		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "retention of finished jobs and their results")
+		storeDir   = flag.String("store-dir", "", "disk result-store directory; compiled results survive restarts (empty = memory only)")
+		storeMax   = flag.Int64("store-max-bytes", 256<<20, "disk result-store size bound in bytes (0 = unbounded)")
 		pprofServe = flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles) on the listen address")
 	)
 	flag.Parse()
 
-	srv := powermove.NewServer(powermove.ServerConfig{Workers: *workers, CacheSize: *cacheSize})
+	cfg := powermove.ServerConfig{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		QueueDepth: *queueDepth,
+		JobTTL:     *jobTTL,
+	}
+	if *storeDir != "" {
+		st, err := powermove.OpenResultStore(*storeDir, *storeMax)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Store = st
+	}
+	srv := powermove.NewServer(cfg)
+	defer srv.Close()
 	handler := srv.Handler()
 	if *pprofServe {
 		// Opt-in only: profiles reveal internals and cost CPU while
@@ -73,7 +96,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("powermoved: serving on %s (cache %d entries)", *addr, *cacheSize)
+	storeNote := "no disk store"
+	if *storeDir != "" {
+		storeNote = "store " + *storeDir
+	}
+	log.Printf("powermoved: serving on %s (cache %d entries, queue depth %d, %s)", *addr, *cacheSize, *queueDepth, storeNote)
 
 	select {
 	case <-ctx.Done():

@@ -19,6 +19,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -220,8 +221,9 @@ type Stats struct {
 	Workers int
 	// Compiles is the number of jobs that actually compiled.
 	Compiles int
-	// CacheHits is the number of jobs served from the cache (including
-	// jobs that waited on another in-flight job with the same key).
+	// CacheHits is the number of jobs served from the cache — including
+	// jobs that waited on another in-flight job with the same key, and
+	// jobs read through from the disk tier (Cache.SetTier).
 	CacheHits int
 	// Wall is the end-to-end batch duration.
 	Wall time.Duration
@@ -239,13 +241,34 @@ type Cache struct {
 	init sync.Once
 	cap  int
 	lru  *cache.LRU[Key, *cacheEntry]
+	// tier, when set, is the second cache level: consulted on a miss
+	// before computing, written through after a fresh computation. Set
+	// before concurrent use (SetTier); read without synchronization.
+	tier Tier
 }
 
 type cacheEntry struct {
 	once    sync.Once
 	outcome Outcome
 	err     error
+	// tierHit records that outcome came from the second tier rather
+	// than a computation; written inside once, read after it.
+	tierHit bool
 }
+
+// Tier is a second cache level behind the in-memory Cache — typically a
+// disk-backed store (DiskTier over internal/store) so outcomes survive
+// restarts and are shareable between processes. Implementations must be
+// safe for concurrent use; Get misses and Put failures are silent (the
+// tier is an optimization, never a source of truth).
+type Tier interface {
+	Get(key Key) (Outcome, bool)
+	Put(key Key, o Outcome)
+}
+
+// SetTier installs the cache's second level. Call before the cache is
+// shared across goroutines; outcomes already resident are unaffected.
+func (c *Cache) SetTier(t Tier) { c.tier = t }
 
 // NewCache returns an empty unbounded cache, for sharing across batch
 // runs.
@@ -270,14 +293,32 @@ func (c *Cache) Len() int { return c.ensure().Len() }
 func (c *Cache) Stats() cache.Stats { return c.ensure().Stats() }
 
 // getOrCompute returns the outcome for key, running compute at most once
-// per resident entry. The second return reports whether the entry
-// already existed (a cache hit — possibly still in flight on another
-// goroutine, in which case the call blocks until that computation
-// finishes).
+// per resident entry. The boolean reports whether the outcome was served
+// rather than computed: either the entry already existed (possibly still
+// in flight on another goroutine, in which case the call blocks until
+// that computation finishes) or the second tier had it. Fresh
+// computations are written through to the tier; cancellation errors are
+// evicted so a canceled request never poisons the key for later callers.
 func (c *Cache) getOrCompute(key Key, compute func() (Outcome, error)) (Outcome, error, bool) {
 	e, hit := c.ensure().GetOrAdd(key, func() *cacheEntry { return &cacheEntry{} })
-	e.once.Do(func() { e.outcome, e.err = compute() })
-	return e.outcome, e.err, hit
+	e.once.Do(func() {
+		if c.tier != nil {
+			if o, ok := c.tier.Get(key); ok {
+				e.outcome, e.tierHit = o, true
+				return
+			}
+		}
+		e.outcome, e.err = compute()
+		if c.tier != nil && e.err == nil {
+			c.tier.Put(key, e.outcome)
+		}
+	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Best-effort eviction: a concurrently re-added fresh entry may
+		// be dropped too, costing only a recompute later.
+		c.lru.Remove(key)
+	}
+	return e.outcome, e.err, hit || e.tierHit
 }
 
 // Run executes jobs across the worker pool and returns one result per

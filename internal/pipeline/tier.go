@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"encoding/json"
+
+	"powermove/internal/store"
+)
+
+// DiskTier adapts a disk store (internal/store) to the Cache's Tier
+// interface: outcomes are marshaled as JSON under the key's canonical
+// string form. Every outcome field serializes losslessly — the compile
+// wall clock included, though consumers treat tier hits as cached and
+// mask it — so a read-through outcome is indistinguishable from the
+// in-memory entry it restores.
+func DiskTier(st *store.Store) Tier { return diskTier{st} }
+
+type diskTier struct{ st *store.Store }
+
+func (d diskTier) Get(key Key) (Outcome, bool) {
+	raw, ok := d.st.Get(key.String())
+	if !ok {
+		return Outcome{}, false
+	}
+	var o Outcome
+	if err := json.Unmarshal(raw, &o); err != nil {
+		// Schema drift between builds sharing a store directory; treat
+		// as a miss and recompile.
+		return Outcome{}, false
+	}
+	return o, true
+}
+
+func (d diskTier) Put(key Key, o Outcome) {
+	raw, err := json.Marshal(o)
+	if err != nil {
+		return
+	}
+	d.st.Put(key.String(), raw)
+}

@@ -13,6 +13,7 @@ import (
 // and the error envelope.
 func TestHTTPEndToEnd(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -109,6 +110,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 // TestHTTPBatch round-trips a small batch over HTTP.
 func TestHTTPBatch(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -137,6 +139,7 @@ func TestHTTPBatch(t *testing.T) {
 // route (table 2 builds circuits but compiles nothing, so it is fast).
 func TestHTTPExperimentTable2(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -8,6 +8,8 @@ import (
 
 	"powermove/internal/cache"
 	"powermove/internal/compiler"
+	"powermove/internal/jobs"
+	"powermove/internal/store"
 	"powermove/internal/verify"
 )
 
@@ -270,13 +272,20 @@ type MetricsSnapshot struct {
 	// Verify is the differential-verification ledger across every
 	// fresh verified compile.
 	Verify VerifyMetrics `json:"verify"`
+	// Jobs is the async queue's accounting: per-state transition
+	// counters, current depth/running/retained gauges, shed and attach
+	// counts, and the admission-to-start latency histogram.
+	Jobs jobs.Metrics `json:"jobs"`
+	// Store is the disk result store's accounting, present only when a
+	// store is configured (-store-dir).
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Metrics returns a snapshot of the server's accounting.
 func (s *Server) Metrics() MetricsSnapshot {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		UptimeS:  time.Since(s.start).Seconds(),
 		Workers:  s.workers,
 		Cache:    s.cache.Stats(),
@@ -293,5 +302,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Endpoints: s.endpoints.snapshot(),
 		Passes:    s.passes.snapshot(),
 		Verify:    s.verifies.snapshot(),
+		Jobs:      s.jobs.Metrics(),
 	}
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.Store = &st
+	}
+	return snap
 }

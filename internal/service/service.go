@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -31,8 +32,10 @@ import (
 	"powermove/internal/compiler"
 	"powermove/internal/experiments"
 	"powermove/internal/fidelity"
+	"powermove/internal/jobs"
 	"powermove/internal/pipeline"
 	"powermove/internal/qasm"
+	"powermove/internal/store"
 	"powermove/internal/verify"
 	"powermove/internal/workload"
 )
@@ -50,6 +53,18 @@ type Config struct {
 	// CacheSize bounds the shared compile cache in entries (one entry is
 	// one compiled evaluation point); 0 means unbounded.
 	CacheSize int
+	// QueueDepth bounds the async job admission queue (/v1/jobs);
+	// submissions beyond it are shed with 429 + Retry-After. Values < 1
+	// select 256.
+	QueueDepth int
+	// JobTTL is how long finished jobs and their result documents are
+	// retained for polling; values <= 0 select 15 minutes.
+	JobTTL time.Duration
+	// Store, when non-nil, is a disk-backed second cache tier behind the
+	// in-memory LRU: fresh outcomes are written through to it, and an
+	// in-memory miss reads through before compiling, so compiled results
+	// survive daemon restarts. Open one with store.Open.
+	Store *store.Store
 }
 
 // Server is the compile service: a shared LRU outcome cache, a
@@ -61,6 +76,8 @@ type Server struct {
 	flight  flightGroup[*CompileResponse]
 	sem     chan struct{}
 	start   time.Time
+	jobs    *jobs.Manager
+	store   *store.Store
 
 	// compileOne executes one validated job; tests substitute a
 	// controlled implementation to observe dedup behavior.
@@ -72,7 +89,8 @@ type Server struct {
 	verifies  verifyLedger
 }
 
-// New returns a ready Server.
+// New returns a ready Server. Release it with Close — the async job
+// subsystem owns goroutines.
 func New(cfg Config) *Server {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -83,21 +101,35 @@ func New(cfg Config) *Server {
 		cache:   pipeline.NewCacheBounded(cfg.CacheSize),
 		sem:     make(chan struct{}, workers),
 		start:   time.Now(),
+		store:   cfg.Store,
 	}
 	s.compileOne = s.pipelineCompile
+	if cfg.Store != nil {
+		s.cache.SetTier(pipeline.DiskTier(cfg.Store))
+	}
+	// Job workers match the compile-concurrency bound: more would only
+	// stack up on the compile semaphore.
+	s.jobs = jobs.NewManager(jobs.Config{
+		Depth:   cfg.QueueDepth,
+		Workers: workers,
+		TTL:     cfg.JobTTL,
+		Run:     s.runJob,
+		CodeOf:  errorCode,
+	})
 	return s
 }
 
-// CompileRequest asks for one evaluation point: a circuit (an inline
-// OpenQASM 2.0 source or a named benchmark workload), a compilation
-// scheme, and an AOD count. Exactly one of QASM and Workload must be
-// set.
-type CompileRequest struct {
-	// QASM is an inline OpenQASM 2.0 program (see internal/qasm for the
-	// supported subset).
-	QASM string `json:"qasm,omitempty"`
-	// Workload names a generated benchmark instance.
-	Workload *WorkloadSpec `json:"workload,omitempty"`
+// Close releases the job subsystem's goroutines, canceling jobs still
+// running.
+func (s *Server) Close() { s.jobs.Close() }
+
+// CompileSpec is the compilation knobs shared by every request shape
+// that compiles — /v1/compile, each /v1/batch item, and async compile
+// and verify jobs embed it, so the knobs validate in one place
+// (normalize) and mean the same thing everywhere. Its fields marshal
+// inline (Go's embedded-struct promotion), so the wire format is
+// unchanged from when they were declared flat on CompileRequest.
+type CompileSpec struct {
 	// Scheme is "enola", "non-storage", or "with-storage" (the
 	// default).
 	Scheme string `json:"scheme,omitempty"`
@@ -106,8 +138,9 @@ type CompileRequest struct {
 	AODs int `json:"aods,omitempty"`
 	// Grouping optionally substitutes the zoned pipeline's Coll-Move
 	// grouping pass: "merged" (the default), "distance", or "in-order"
-	// (compiler.GroupingNames). Unknown names are rejected as 400s;
-	// the enola baseline has a fixed grouping and rejects the field.
+	// (compiler.GroupingNames). Unknown names are rejected as 400s with
+	// code unknown_grouping; the enola baseline has a fixed grouping
+	// and rejects the field.
 	Grouping string `json:"grouping,omitempty"`
 	// Stable zeroes the measured wall-clock fields of the response so
 	// repeated requests (and the CLI's -json -stable mode) are
@@ -119,6 +152,60 @@ type CompileRequest struct {
 	// attaches its summary to the response. The HTTP front end also
 	// accepts it as the ?verify=1 query parameter.
 	Verify bool `json:"verify,omitempty"`
+}
+
+// normalize validates the spec and returns the normalized scheme, AOD
+// count, and canonical grouping name (empty for the default, so an
+// explicit "merged" shares the default's cache entry).
+func (cs *CompileSpec) normalize() (pipeline.Scheme, int, string, error) {
+	scheme := pipeline.Scheme(cs.Scheme)
+	if cs.Scheme == "" {
+		scheme = pipeline.WithStorage
+	}
+	switch scheme {
+	case pipeline.Enola, pipeline.NonStorage, pipeline.WithStorage:
+	default:
+		return "", 0, "", fmt.Errorf("unknown scheme %q (want enola, non-storage, or with-storage)", cs.Scheme)
+	}
+	aods := cs.AODs
+	if aods == 0 {
+		aods = 1
+	}
+	if aods < 1 || aods > MaxAODs {
+		return "", 0, "", fmt.Errorf("aods = %d out of range [1, %d]", cs.AODs, MaxAODs)
+	}
+	if scheme == pipeline.Enola && aods != 1 {
+		return "", 0, "", fmt.Errorf("the enola baseline is single-AOD; got aods = %d", aods)
+	}
+	// The enola rejection must see the raw field — an explicit "merged"
+	// is still a grouping request the baseline can't honor — and only
+	// then does the name validate and normalize (an explicit default
+	// collapses to the empty name so it shares the default's cache
+	// entry; the engine normalizes again for direct job builders).
+	grouping := cs.Grouping
+	if grouping != "" {
+		if scheme == pipeline.Enola {
+			return "", 0, "", fmt.Errorf("the enola baseline has a fixed grouping; drop the grouping field")
+		}
+		if err := compiler.ValidateGrouping(grouping); err != nil {
+			return "", 0, "", &APIError{Status: http.StatusBadRequest, Code: CodeUnknownGrouping,
+				Message: err.Error(), Details: compiler.GroupingNames()}
+		}
+		grouping = compiler.NormalizeGrouping(grouping)
+	}
+	return scheme, aods, grouping, nil
+}
+
+// CompileRequest asks for one evaluation point: a circuit (an inline
+// OpenQASM 2.0 source or a named benchmark workload) plus the shared
+// compilation knobs. Exactly one of QASM and Workload must be set.
+type CompileRequest struct {
+	// QASM is an inline OpenQASM 2.0 program (see internal/qasm for the
+	// supported subset).
+	QASM string `json:"qasm,omitempty"`
+	// Workload names a generated benchmark instance.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	CompileSpec
 }
 
 // WorkloadSpec names a generated benchmark instance, mirroring
@@ -175,53 +262,27 @@ type CompileResponse struct {
 	Cached bool `json:"cached"`
 }
 
-// compileSpec is a validated, normalized request: the batch job plus the
+// compilePlan is a validated, normalized request: the batch job plus the
 // request facts the response echoes.
-type compileSpec struct {
+type compilePlan struct {
 	job    pipeline.Job
 	qubits int
 	stable bool
 }
 
-// validate normalizes req into an executable spec or reports the first
-// problem. Inline QASM is parsed here, once, so malformed programs fail
-// before touching a worker and the job closure reuses the parse.
-func (req *CompileRequest) validate() (*compileSpec, error) {
-	scheme := pipeline.Scheme(req.Scheme)
-	if req.Scheme == "" {
-		scheme = pipeline.WithStorage
+// validate normalizes req into an executable plan or reports the first
+// problem: the shared knobs through CompileSpec.normalize, then the
+// circuit source, then the cache key — derived here, once, for every
+// path that compiles (sync, batch, and async jobs alike). Inline QASM is
+// parsed here too, so malformed programs fail before touching a worker
+// and the job closure reuses the parse.
+func (req *CompileRequest) validate() (*compilePlan, error) {
+	scheme, aods, grouping, err := req.normalize()
+	if err != nil {
+		return nil, err
 	}
-	switch scheme {
-	case pipeline.Enola, pipeline.NonStorage, pipeline.WithStorage:
-	default:
-		return nil, fmt.Errorf("unknown scheme %q (want enola, non-storage, or with-storage)", req.Scheme)
-	}
-	aods := req.AODs
-	if aods == 0 {
-		aods = 1
-	}
-	if aods < 1 || aods > MaxAODs {
-		return nil, fmt.Errorf("aods = %d out of range [1, %d]", req.AODs, MaxAODs)
-	}
-	if scheme == pipeline.Enola && aods != 1 {
-		return nil, fmt.Errorf("the enola baseline is single-AOD; got aods = %d", aods)
-	}
-	// The enola rejection must see the raw field — an explicit "merged"
-	// is still a grouping request the baseline can't honor — and only
-	// then does the name validate and normalize (an explicit default
-	// collapses to the empty name so it shares the default's cache
-	// entry; the engine normalizes again for direct job builders).
-	grouping := req.Grouping
-	if grouping != "" {
-		if scheme == pipeline.Enola {
-			return nil, fmt.Errorf("the enola baseline has a fixed grouping; drop the grouping field")
-		}
-		if err := compiler.ValidateGrouping(grouping); err != nil {
-			return nil, err
-		}
-		grouping = compiler.NormalizeGrouping(grouping)
-	}
-
+	var job pipeline.Job
+	var qubits int
 	switch {
 	case req.QASM != "" && req.Workload != nil:
 		return nil, fmt.Errorf("specify only one of qasm and workload")
@@ -233,14 +294,8 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 			return nil, fmt.Errorf("qasm: %w", err)
 		}
 		circ := prog.Circuit
-		job := pipeline.NewJob(bench, scheme, aods, func() (*circuit.Circuit, error) { return circ, nil })
-		job.Key.Grouping = grouping
-		job.Key.Verify = req.Verify
-		return &compileSpec{
-			job:    job,
-			qubits: circ.Qubits,
-			stable: req.Stable,
-		}, nil
+		job = pipeline.NewJob(bench, scheme, aods, func() (*circuit.Circuit, error) { return circ, nil })
+		qubits = circ.Qubits
 	case req.Workload != nil:
 		w := req.Workload
 		if w.Qubits < 2 {
@@ -257,17 +312,14 @@ func (req *CompileRequest) validate() (*compileSpec, error) {
 			bench = fmt.Sprintf("%s@%d", bench, seed)
 			gen = func() (*circuit.Circuit, error) { return seededCircuit(spec.Family, w.Qubits, seed) }
 		}
-		job := pipeline.NewJob(bench, scheme, aods, gen)
-		job.Key.Grouping = grouping
-		job.Key.Verify = req.Verify
-		return &compileSpec{
-			job:    job,
-			qubits: w.Qubits,
-			stable: req.Stable,
-		}, nil
+		job = pipeline.NewJob(bench, scheme, aods, gen)
+		qubits = w.Qubits
 	default:
 		return nil, fmt.Errorf("specify one of qasm and workload")
 	}
+	job.Key.Grouping = grouping
+	job.Key.Verify = req.Verify
+	return &compilePlan{job: job, qubits: qubits, stable: req.Stable}, nil
 }
 
 // knownFamily reports whether family has a generator, without paying
@@ -311,16 +363,24 @@ func seededCircuit(family experiments.Family, n int, seed int64) (*circuit.Circu
 // shared cache. Identical concurrent requests share one execution;
 // identical repeated requests are cache hits.
 func (s *Server) Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
+	return s.compile(ctx, req, true)
+}
+
+// compile is the shared execution path. detach controls whether the
+// compile outlives ctx: the sync HTTP path detaches (joiners from other
+// connections share the execution, so one client's disconnect must
+// neither fail them nor keep the outcome out of the cache — joiners' own
+// ctx still governs their wait, in flightGroup.do), while async jobs
+// don't (DELETE /v1/jobs/{id} must actually stop the work).
+func (s *Server) compile(ctx context.Context, req *CompileRequest, detach bool) (*CompileResponse, error) {
 	spec, err := req.validate()
 	if err != nil {
 		return nil, &RequestError{err}
 	}
-	// The leader compiles under a context detached from its own request:
-	// joiners from other connections share this execution, so one
-	// client's disconnect must neither fail them nor keep the outcome
-	// out of the cache. (Joiners' own ctx still governs their wait, in
-	// flightGroup.do.)
-	leaderCtx := context.WithoutCancel(ctx)
+	leaderCtx := ctx
+	if detach {
+		leaderCtx = context.WithoutCancel(ctx)
+	}
 	resp, err, joined := s.flight.do(ctx, spec.job.Key.String(), func() (*CompileResponse, error) {
 		result, err := s.compileOne(leaderCtx, spec.job)
 		if err != nil {
@@ -363,7 +423,7 @@ func (s *Server) pipelineCompile(ctx context.Context, job pipeline.Job) (pipelin
 }
 
 // response assembles the JSON payload for one engine result.
-func (s *Server) response(spec *compileSpec, r pipeline.Result) *CompileResponse {
+func (s *Server) response(spec *compilePlan, r pipeline.Result) *CompileResponse {
 	resp := &CompileResponse{
 		Bench:      r.Key.Bench,
 		Scheme:     string(r.Key.Scheme),
@@ -421,7 +481,7 @@ func (s *Server) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 	if len(req.Requests) > MaxBatch {
 		return nil, &RequestError{fmt.Errorf("batch has %d requests; limit is %d", len(req.Requests), MaxBatch)}
 	}
-	specs := make([]*compileSpec, len(req.Requests))
+	specs := make([]*compilePlan, len(req.Requests))
 	items := make([]BatchItem, len(req.Requests))
 	var jobs []pipeline.Job
 	jobIdx := make([]int, 0, len(req.Requests))
@@ -503,6 +563,12 @@ type ExperimentDoc struct {
 // previous call) are served from cache. Stable zeroes the wall-clock
 // fields for reproducible output.
 func (s *Server) Experiment(ctx context.Context, kind, id string, stable bool) (*ExperimentDoc, error) {
+	return s.experiment(ctx, kind, id, stable, nil)
+}
+
+// experiment is Experiment plus an optional per-point progress callback,
+// which async experiment jobs stream to their event feed.
+func (s *Server) experiment(ctx context.Context, kind, id string, stable bool, progress func(done, total int)) (*ExperimentDoc, error) {
 	rn := &experiments.Runner{Jobs: s.workers, Cache: s.cache, Sem: s.sem,
 		// Stream completions into the cumulative per-pass ledger;
 		// cache hits carry a breakdown already accounted for by the
@@ -511,6 +577,9 @@ func (s *Server) Experiment(ctx context.Context, kind, id string, stable bool) (
 			if r.Err == nil && !r.Cached {
 				s.passes.observe(r.Outcome.Passes)
 				s.verifies.observe(r.Outcome.Verify)
+			}
+			if progress != nil {
+				progress(done, total)
 			}
 		},
 	}

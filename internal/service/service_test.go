@@ -15,9 +15,8 @@ import (
 // seedless, so its outcome is fully deterministic.
 func qftRequest(n int) *CompileRequest {
 	return &CompileRequest{
-		Workload: &WorkloadSpec{Family: "QFT", Qubits: n},
-		Scheme:   "with-storage",
-		Stable:   true,
+		Workload:    &WorkloadSpec{Family: "QFT", Qubits: n},
+		CompileSpec: CompileSpec{Scheme: "with-storage", Stable: true},
 	}
 }
 
@@ -26,6 +25,7 @@ func qftRequest(n int) *CompileRequest {
 // and the metrics ledger records exactly one compile.
 func TestCompileAndCacheHit(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	cold, err := s.Compile(context.Background(), qftRequest(6))
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +64,7 @@ func TestCompileAndCacheHit(t *testing.T) {
 func TestSingleflightDedup(t *testing.T) {
 	const n = 8
 	s := New(Config{Workers: n}) // workers don't bound dedup; leave room
+	defer s.Close()
 
 	var calls int
 	release := make(chan struct{})
@@ -136,6 +137,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // with different keys each compile.
 func TestDistinctRequestsDontDedup(t *testing.T) {
 	s := New(Config{Workers: 4})
+	defer s.Close()
 	var mu sync.Mutex
 	keys := map[string]int{}
 	s.compileOne = func(ctx context.Context, job pipeline.Job) (pipeline.Result, error) {
@@ -166,22 +168,23 @@ func TestDistinctRequestsDontDedup(t *testing.T) {
 // TestValidation covers the request-validation surface.
 func TestValidation(t *testing.T) {
 	s := New(Config{Workers: 1})
+	defer s.Close()
 	cases := []struct {
 		name string
 		req  CompileRequest
 	}{
 		{"empty", CompileRequest{}},
 		{"both sources", CompileRequest{QASM: "x", Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}}},
-		{"bad scheme", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Scheme: "turbo"}},
-		{"bad aods", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, AODs: MaxAODs + 1}},
-		{"negative aods", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, AODs: -1}},
-		{"enola multi-aod", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Scheme: "enola", AODs: 2}},
+		{"bad scheme", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{Scheme: "turbo"}}},
+		{"bad aods", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{AODs: MaxAODs + 1}}},
+		{"negative aods", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{AODs: -1}}},
+		{"enola multi-aod", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{Scheme: "enola", AODs: 2}}},
 		{"unknown family", CompileRequest{Workload: &WorkloadSpec{Family: "nope", Qubits: 4}}},
 		{"tiny workload", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 1}}},
 		{"bad qasm", CompileRequest{QASM: "OPENQASM 3.0;"}},
-		{"unknown grouping", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Grouping: "turbo"}},
-		{"enola grouping", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Scheme: "enola", Grouping: "distance"}},
-		{"enola grouping merged", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, Scheme: "enola", Grouping: "merged"}},
+		{"unknown grouping", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{Grouping: "turbo"}}},
+		{"enola grouping", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{Scheme: "enola", Grouping: "distance"}}},
+		{"enola grouping merged", CompileRequest{Workload: &WorkloadSpec{Family: "QFT", Qubits: 4}, CompileSpec: CompileSpec{Scheme: "enola", Grouping: "merged"}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -203,6 +206,7 @@ func TestValidation(t *testing.T) {
 // monotonically while cache hits leave it unchanged.
 func TestPassBreakdownAndLedger(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	resp, err := s.Compile(context.Background(), qftRequest(6))
 	if err != nil {
 		t.Fatal(err)
@@ -260,6 +264,7 @@ func TestPassBreakdownAndLedger(t *testing.T) {
 // pass, is part of the cache identity, and echoes in the response.
 func TestGroupingSubstitution(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	base, err := s.Compile(context.Background(), qftRequest(6))
 	if err != nil {
 		t.Fatal(err)
@@ -305,7 +310,8 @@ cz q[2], q[3];
 cz q[0], q[2];
 `
 	s := New(Config{Workers: 1})
-	req := &CompileRequest{QASM: src, Scheme: "non-storage", Stable: true}
+	defer s.Close()
+	req := &CompileRequest{QASM: src, CompileSpec: CompileSpec{Scheme: "non-storage", Stable: true}}
 	cold, err := s.Compile(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
@@ -320,7 +326,7 @@ cz q[0], q[2];
 	if !warm.Cached {
 		t.Error("identical QASM source missed the cache")
 	}
-	other, err := s.Compile(context.Background(), &CompileRequest{QASM: src + "cz q[1], q[3];\n", Scheme: "non-storage", Stable: true})
+	other, err := s.Compile(context.Background(), &CompileRequest{QASM: src + "cz q[1], q[3];\n", CompileSpec: CompileSpec{Scheme: "non-storage", Stable: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,11 +339,12 @@ cz q[0], q[2];
 // batch.
 func TestBatch(t *testing.T) {
 	s := New(Config{Workers: 4})
+	defer s.Close()
 	req := &BatchRequest{Requests: []CompileRequest{
 		*qftRequest(6),
 		{Workload: &WorkloadSpec{Family: "bogus", Qubits: 4}},
 		*qftRequest(6), // duplicate of item 0: one compile, one hit
-		{Workload: &WorkloadSpec{Family: "VQE", Qubits: 4}, Scheme: "enola", Stable: true},
+		{Workload: &WorkloadSpec{Family: "VQE", Qubits: 4}, CompileSpec: CompileSpec{Scheme: "enola", Stable: true}},
 	}}
 	resp, err := s.Batch(context.Background(), req)
 	if err != nil {
@@ -376,6 +383,7 @@ func TestBatch(t *testing.T) {
 func TestStableDeterminism(t *testing.T) {
 	encode := func() string {
 		s := New(Config{Workers: 3})
+		defer s.Close()
 		resp, err := s.Compile(context.Background(), qftRequest(8))
 		if err != nil {
 			t.Fatal(err)
@@ -404,6 +412,7 @@ func TestStableDeterminism(t *testing.T) {
 // eviction counter says so.
 func TestCacheEviction(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: 1})
+	defer s.Close()
 	for _, n := range []int{4, 6, 4} {
 		if _, err := s.Compile(context.Background(), qftRequest(n)); err != nil {
 			t.Fatal(err)
@@ -424,6 +433,7 @@ func TestCacheEviction(t *testing.T) {
 // TestExperimentUnknownIDs checks the experiments surface rejects junk.
 func TestExperimentUnknownIDs(t *testing.T) {
 	s := New(Config{Workers: 1})
+	defer s.Close()
 	for _, tc := range [][2]string{{"table", "9"}, {"figure", "6z"}, {"plot", "1"}} {
 		if _, err := s.Experiment(context.Background(), tc[0], tc[1], true); err == nil {
 			t.Errorf("Experiment(%s, %s) accepted", tc[0], tc[1])

@@ -16,6 +16,7 @@ import (
 // the /metrics verification ledger exactly once.
 func TestCompileVerifyField(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	req := qftRequest(6)
 	req.Verify = true
 	cold, err := s.Compile(context.Background(), req)
@@ -57,6 +58,7 @@ func TestCompileVerifyField(t *testing.T) {
 // body field, and bad values are 400s.
 func TestHTTPVerifyQueryParam(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -101,6 +103,7 @@ func TestHTTPVerifyQueryParam(t *testing.T) {
 // default.
 func TestGroupingRegistryRoundTrip(t *testing.T) {
 	s := New(Config{Workers: 2})
+	defer s.Close()
 	for _, name := range compiler.GroupingNames() {
 		req := qftRequest(6)
 		req.Grouping = name
@@ -113,9 +116,8 @@ func TestGroupingRegistryRoundTrip(t *testing.T) {
 		}
 
 		enola := &CompileRequest{
-			Workload: &WorkloadSpec{Family: "QFT", Qubits: 6},
-			Scheme:   "enola",
-			Grouping: name,
+			Workload:    &WorkloadSpec{Family: "QFT", Qubits: 6},
+			CompileSpec: CompileSpec{Scheme: "enola", Grouping: name},
 		}
 		if _, err := s.Compile(context.Background(), enola); err == nil {
 			t.Errorf("enola accepted grouping %q", name)

@@ -1,0 +1,292 @@
+// Package store is a disk-backed, content-addressed result store: the
+// persistence tier under the in-memory compile cache. Each entry is one
+// JSON file named by the SHA-256 of its cache key, holding the key, a
+// checksum, and the payload, so a restarted daemon — or a second daemon
+// pointed at the same directory — serves previously compiled outcomes
+// without recompiling them.
+//
+// The store is deliberately dumb about payloads: it moves opaque bytes.
+// internal/pipeline's DiskTier adapter marshals Outcomes through it, and
+// nothing else needs to agree on a schema.
+//
+// Durability and safety properties:
+//
+//   - Writes are atomic: payloads land in a temp file in the store
+//     directory and are renamed into place, so a crash never leaves a
+//     half-written entry and concurrent processes sharing a directory
+//     never observe torn reads.
+//   - Reads are integrity-checked: an entry whose embedded key does not
+//     match the request (a SHA-256 prefix collision, or a file copied
+//     between stores) or whose checksum does not match its payload is
+//     treated as a miss, counted, and deleted.
+//   - Size is bounded: when the configured byte budget is exceeded, the
+//     least recently used entries (by file mtime, refreshed on every
+//     hit) are garbage-collected oldest-first until the store fits.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// entrySuffix names store entries; anything else in the directory is
+// ignored (and "tmp-*" leftovers from a crashed writer are cleaned at
+// Open).
+const entrySuffix = ".json"
+
+// envelope is the on-disk schema of one entry.
+type envelope struct {
+	// Key is the full cache key the entry stores, checked verbatim on
+	// read so filename collisions cannot alias entries.
+	Key string `json:"key"`
+	// Sum is the hex SHA-256 of Payload's bytes as written.
+	Sum string `json:"sum"`
+	// Payload is the opaque value; the store never interprets it.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats is a snapshot of a store's accounting.
+type Stats struct {
+	// Hits and Misses count Get outcomes; integrity failures are misses
+	// and additionally counted in Corrupt.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts entries written (an existing entry is not rewritten).
+	Puts int64 `json:"puts"`
+	// Corrupt counts entries dropped on read for failing the key or
+	// checksum match.
+	Corrupt int64 `json:"corrupt"`
+	// GCFiles and GCBytes count entries and bytes evicted to respect
+	// MaxBytes.
+	GCFiles int64 `json:"gc_files"`
+	GCBytes int64 `json:"gc_bytes"`
+	// Files and Bytes describe the resident store.
+	Files int   `json:"files"`
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the configured bound; 0 means unbounded.
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// Store is a disk-backed key→bytes map safe for concurrent use within a
+// process and safe to share across processes (atomic writes; GC and
+// eviction tolerate concurrent unlinks).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[string]fileState // filename → size/mtime, for GC ordering
+	bytes int64
+	stats Stats
+}
+
+type fileState struct {
+	size  int64
+	mtime time.Time
+}
+
+// Open returns a store rooted at dir, creating it if needed, scanning
+// existing entries into the GC index, and removing temp files left by a
+// crashed writer. maxBytes bounds the resident size (0 = unbounded).
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, index: make(map[string]fileState)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.index[name] = fileState{size: info.Size(), mtime: info.ModTime()}
+		s.bytes += info.Size()
+	}
+	s.gcLocked()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileFor maps a key to its entry filename: a SHA-256 prefix long enough
+// that collisions are astronomically unlikely — and harmless anyway,
+// because reads check the embedded key.
+func fileFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16]) + entrySuffix
+}
+
+// Get returns the payload stored for key, if any. A present-but-corrupt
+// entry (checksum or key mismatch, unparseable envelope) is deleted and
+// reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	name := fileFor(key)
+	path := filepath.Join(s.dir, name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Key != key || env.Sum != payloadSum(env.Payload) {
+		s.dropCorrupt(name, path)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU touch; GC orders by mtime
+	s.mu.Lock()
+	s.stats.Hits++
+	if st, ok := s.index[name]; ok {
+		st.mtime = now
+		s.index[name] = st
+	}
+	s.mu.Unlock()
+	return env.Payload, true
+}
+
+// dropCorrupt removes an entry that failed integrity checks.
+func (s *Store) dropCorrupt(name, path string) {
+	os.Remove(path)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Misses++
+	s.stats.Corrupt++
+	if st, ok := s.index[name]; ok {
+		s.bytes -= st.size
+		delete(s.index, name)
+	}
+}
+
+// Put writes payload under key, atomically, and garbage-collects if the
+// store outgrew its budget. An entry already present for key is left
+// untouched: keys are content addresses, so equal keys mean equal
+// payloads.
+func (s *Store) Put(key string, payload []byte) error {
+	name := fileFor(key)
+	path := filepath.Join(s.dir, name)
+	s.mu.Lock()
+	_, exists := s.index[name]
+	s.mu.Unlock()
+	if exists {
+		return nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		// Another process wrote it; adopt it into the index below.
+		if info, err := os.Stat(path); err == nil {
+			s.adopt(name, info.Size(), info.ModTime())
+		}
+		return nil
+	}
+	env := envelope{Key: key, Sum: payloadSum(payload), Payload: payload}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.index[name] = fileState{size: int64(len(raw)), mtime: time.Now()}
+	s.bytes += int64(len(raw))
+	s.gcLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// adopt records an entry written by another process.
+func (s *Store) adopt(name string, size int64, mtime time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[name]; ok {
+		return
+	}
+	s.index[name] = fileState{size: size, mtime: mtime}
+	s.bytes += size
+	s.gcLocked()
+}
+
+// gcLocked evicts least-recently-used entries (oldest mtime first) until
+// the store fits its byte budget. Called with s.mu held. Unlink races
+// with other processes are tolerated: the accounting drops the entry
+// either way.
+func (s *Store) gcLocked() {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type aged struct {
+		name string
+		fileState
+	}
+	order := make([]aged, 0, len(s.index))
+	for name, st := range s.index {
+		order = append(order, aged{name, st})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].mtime.Before(order[j].mtime) })
+	for _, e := range order {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		os.Remove(filepath.Join(s.dir, e.name))
+		delete(s.index, e.name)
+		s.bytes -= e.size
+		s.stats.GCFiles++
+		s.stats.GCBytes += e.size
+	}
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Files = len(s.index)
+	st.Bytes = s.bytes
+	st.MaxBytes = s.maxBytes
+	return st
+}
+
+// payloadSum is the hex SHA-256 of payload as written.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}

@@ -40,6 +40,7 @@ import (
 	"powermove/internal/qasm"
 	"powermove/internal/service"
 	"powermove/internal/sim"
+	"powermove/internal/store"
 	"powermove/internal/trace"
 	"powermove/internal/verify"
 	"powermove/internal/viz"
@@ -257,17 +258,37 @@ type (
 	// identical requests, and bounded compile concurrency over the
 	// batch engine. Server.Handler is its HTTP front end.
 	Server = service.Server
-	// ServerConfig sizes a Server: worker bound and cache capacity.
+	// ServerConfig sizes a Server: worker bound, cache capacity, async
+	// queue depth and TTL, and the optional disk result store.
 	ServerConfig = service.Config
 	// ServiceCompileRequest asks the service for one evaluation point
-	// (inline QASM or a named workload, scheme, AOD count).
+	// (inline QASM or a named workload, plus the shared CompileSpec
+	// knobs).
 	ServiceCompileRequest = service.CompileRequest
+	// ServiceCompileSpec is the compilation knobs (scheme, AOD count,
+	// grouping, stable, verify) shared by every compiling request shape.
+	ServiceCompileSpec = service.CompileSpec
 	// ServiceCompileResponse is one compiled evaluation point.
 	ServiceCompileResponse = service.CompileResponse
 	// ServiceWorkloadSpec names a generated benchmark instance in a
 	// ServiceCompileRequest.
 	ServiceWorkloadSpec = service.WorkloadSpec
+	// ServiceJobRequest submits async work to POST /v1/jobs: exactly one
+	// of its compile/verify/batch/experiment fields.
+	ServiceJobRequest = service.JobRequest
+	// ResultStore is the disk-backed content-addressed result store a
+	// Server can use as its second cache tier; open one with
+	// OpenResultStore.
+	ResultStore = store.Store
 )
+
+// OpenResultStore opens (creating if needed) a disk result store rooted
+// at dir, bounded to maxBytes of entries (0 = unbounded); wire it into a
+// Server via ServerConfig.Store to make compiled results survive daemon
+// restarts.
+func OpenResultStore(dir string, maxBytes int64) (*ResultStore, error) {
+	return store.Open(dir, maxBytes)
+}
 
 // NewServer returns a ready compile service; serve it with
 // http.ListenAndServe(addr, s.Handler()) or call its Compile/Batch
@@ -284,7 +305,9 @@ func CompileJSON(ctx context.Context, req []byte) ([]byte, error) {
 	if err := json.Unmarshal(req, &creq); err != nil {
 		return nil, fmt.Errorf("compile request: %w", err)
 	}
-	resp, err := NewServer(ServerConfig{Workers: 1}).Compile(ctx, &creq)
+	s := NewServer(ServerConfig{Workers: 1})
+	defer s.Close()
+	resp, err := s.Compile(ctx, &creq)
 	if err != nil {
 		return nil, err
 	}

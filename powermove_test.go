@@ -109,10 +109,10 @@ func TestCompileJSONFacade(t *testing.T) {
 	}
 
 	srv := NewServer(ServerConfig{Workers: 1})
+	defer srv.Close()
 	direct, err := srv.Compile(context.Background(), &ServiceCompileRequest{
-		Workload: &ServiceWorkloadSpec{Family: "QFT", Qubits: 6},
-		Scheme:   "with-storage",
-		Stable:   true,
+		Workload:    &ServiceWorkloadSpec{Family: "QFT", Qubits: 6},
+		CompileSpec: ServiceCompileSpec{Scheme: "with-storage", Stable: true},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,23 +10,27 @@ set -euo pipefail
 
 TMP="${RUNNER_TEMP:-$(mktemp -d)}"
 ADDR=127.0.0.1:8077
+ADDR2=127.0.0.1:8078
+STORE="$TMP/store"
 
 go build -o "$TMP/powermoved" ./cmd/powermoved
 go build -o "$TMP/powermove" ./cmd/powermove
 
-"$TMP/powermoved" -addr "$ADDR" &
+"$TMP/powermoved" -addr "$ADDR" -store-dir "$STORE" &
 DAEMON=$!
-trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+DAEMON2=""
+trap 'kill "$DAEMON" "$DAEMON2" 2>/dev/null || true' EXIT
 
-up=0
-for _ in $(seq 1 100); do
-  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
-  sleep 0.2
-done
-if [ "$up" != 1 ]; then
-  echo "service_smoke: /healthz never came up" >&2
+wait_up() {
+  local addr=$1
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "service_smoke: $addr/healthz never came up" >&2
   exit 1
-fi
+}
+wait_up "$ADDR"
 
 REQ='{"workload":{"family":"QFT","qubits":18},"scheme":"with-storage","aods":1,"stable":true}'
 
@@ -109,5 +113,100 @@ if ! go run ./cmd/experiments -verify -progress=false > "$TMP/verify-sweep.txt";
   exit 1
 fi
 echo "service_smoke: verification sweep passed (all families x all pipelines)"
+
+# --- Async /v1/jobs round trip -------------------------------------
+# Submit the warmed request as a job, poll to done, and require the
+# result document byte-identical to the sync endpoint's warm response
+# (warm vs warm: both are cache hits, both say "cached": true).
+job_field() { python3 -c 'import json,sys; print(json.load(sys.stdin)[sys.argv[1]])' "$1"; }
+
+JID=$(curl -fsS -X POST "http://$ADDR/v1/jobs" \
+  -H 'Content-Type: application/json' -d "{\"compile\":$REQ}" | job_field id)
+STATE=queued
+for _ in $(seq 1 100); do
+  STATE=$(curl -fsS "http://$ADDR/v1/jobs/$JID" | job_field state)
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "service_smoke: job $JID ended $STATE" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$STATE" != done ]; then
+  echo "service_smoke: job $JID never finished (state $STATE)" >&2
+  exit 1
+fi
+curl -fsS "http://$ADDR/v1/jobs/$JID/result" > "$TMP/async.json"
+cmp "$TMP/async.json" "$TMP/svc2.json"
+echo "service_smoke: async job result is byte-identical to the sync document"
+
+# --- Queue backpressure --------------------------------------------
+# A dedicated daemon with one worker and a one-slot queue: a slow batch
+# job (16 distinct verified 22-qubit compiles, several seconds on one
+# worker) occupies the worker, a second job fills the queue, and the
+# third submission must be shed with 429 + Retry-After + the stable
+# queue_full error code.
+"$TMP/powermoved" -addr "$ADDR2" -workers 1 -queue-depth 1 &
+DAEMON2=$!
+wait_up "$ADDR2"
+
+SLOW=$(python3 -c '
+import json
+reqs = [{"workload": {"family": "QSIM-rand", "qubits": 22, "seed": s},
+         "stable": True, "verify": True} for s in range(1, 17)]
+print(json.dumps({"batch": {"requests": reqs}}))')
+RID=$(curl -fsS -X POST "http://$ADDR2/v1/jobs" \
+  -H 'Content-Type: application/json' -d "$SLOW" | job_field id)
+for _ in $(seq 1 100); do
+  [ "$(curl -fsS "http://$ADDR2/v1/jobs/$RID" | job_field state)" = running ] && break
+  sleep 0.1
+done
+curl -fsS -X POST "http://$ADDR2/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"compile":{"workload":{"family":"QFT","qubits":20},"stable":true}}' >/dev/null
+CODE=$(curl -s -o "$TMP/shed.json" -D "$TMP/shed-headers.txt" -w '%{http_code}' \
+  -X POST "http://$ADDR2/v1/jobs" -H 'Content-Type: application/json' \
+  -d '{"compile":{"workload":{"family":"QFT","qubits":22},"stable":true}}')
+if [ "$CODE" != 429 ]; then
+  echo "service_smoke: submit beyond queue depth answered $CODE, want 429" >&2
+  cat "$TMP/shed.json" >&2
+  exit 1
+fi
+grep -qi '^retry-after:' "$TMP/shed-headers.txt"
+grep -q '"queue_full"' "$TMP/shed.json"
+curl -fsS "http://$ADDR2/metrics" > "$TMP/metrics-shed.json"
+python3 - "$TMP/metrics-shed.json" <<'PYEOF'
+import json, sys
+j = json.load(open(sys.argv[1]))["jobs"]
+if j["shed"] != 1 or j["depth"] != j["capacity"]:
+    sys.exit(f"queue ledger wrong: {j}")
+print("service_smoke: queue sheds at depth with 429 + Retry-After + queue_full")
+PYEOF
+kill "$DAEMON2" 2>/dev/null || true
+DAEMON2=""
+
+# --- Restart durability --------------------------------------------
+# Restart the main daemon over the same -store-dir: the warmed request
+# must come back as a cache hit served from disk — zero compiles, a
+# store hit on /metrics, and the same bytes as before the restart.
+kill "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+"$TMP/powermoved" -addr "$ADDR" -store-dir "$STORE" &
+DAEMON=$!
+wait_up "$ADDR"
+
+curl -fsS -X POST "http://$ADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d "$REQ" > "$TMP/svc-restart.json"
+grep -q '"cached": true' "$TMP/svc-restart.json"
+cmp "$TMP/svc-restart.json" "$TMP/svc2.json"
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics-restart.json"
+python3 - "$TMP/metrics-restart.json" <<'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+if m["compiles"] != 0:
+    sys.exit(f"restarted daemon compiled {m['compiles']} times, want 0")
+if (m.get("store") or {}).get("hits", 0) < 1:
+    sys.exit(f"restart served no store hit: {m.get('store')}")
+print("service_smoke: restart over the same -store-dir serves the prior result from disk")
+PYEOF
 
 echo "service_smoke: PASS"
