@@ -1,0 +1,84 @@
+package powermove
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"powermove/internal/circuit"
+	"powermove/internal/pipeline"
+)
+
+// incrementalBenchCircuit builds the 40-block editing workload of the
+// incremental-compilation benchmark: a deterministic 24-qubit circuit
+// whose last block carries a variant tag, modeling an interactive user
+// recompiling after editing the tail of a program. variant < 0 is the
+// pristine seed; every variant >= 0 mutates only the final block.
+func incrementalBenchCircuit(variant int) *circuit.Circuit {
+	const n, blocks = 24, 40
+	c := circuit.New("incr-bench", n)
+	for i := 0; i < blocks; i++ {
+		a := (3 * i) % (n - 3)
+		oneQ := i % 4
+		if i == blocks-1 && variant >= 0 {
+			oneQ = 4 + variant%7 // tail edit: only the last block differs
+		}
+		c.AddBlock(oneQ, circuit.NewCZ(a, a+1), circuit.NewCZ(a+2, a+3))
+	}
+	return c
+}
+
+// BenchmarkIncrementalRecompile measures the tail-edit recompile loop:
+// compile a 40-block circuit, mutate its last block, recompile. The
+// cold sub-bench recompiles from scratch every time; the incremental
+// sub-bench shares a snapshot store seeded with the pristine compile,
+// so every iteration resumes from the 39-block shared prefix and lowers
+// one block. The ratio of the two ns/op figures is the incremental
+// speedup (the PR pins >= 2x); the outputs are byte-identical, which
+// TestIncrementalPrefixReuse and the fuzz harness's
+// mutate-and-recompile mode hold the implementation to.
+func BenchmarkIncrementalRecompile(b *testing.B) {
+	ctx := context.Background()
+	jobFor := func(bench string, variant, aods int) pipeline.Job {
+		circ := incrementalBenchCircuit(variant)
+		return pipeline.NewJob(bench, pipeline.WithStorage, aods,
+			func() (*circuit.Circuit, error) { return circ, nil })
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			job := jobFor(fmt.Sprintf("incr-cold-%d", i), i, 1)
+			results, _, err := pipeline.Run(ctx, []pipeline.Job{job},
+				pipeline.Options{Workers: 1, Cache: pipeline.NewCache()})
+			if err != nil || results[0].Err != nil {
+				b.Fatal(err, results[0].Err)
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		snaps := pipeline.NewSnapshotStore(0)
+		seed := jobFor("incr-seed", -1, 1)
+		if results, _, err := pipeline.Run(ctx, []pipeline.Job{seed},
+			pipeline.Options{Workers: 1, Cache: pipeline.NewCache(), Snapshots: snaps}); err != nil || results[0].Err != nil {
+			b.Fatal(err, results[0].Err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A distinct bench name per iteration defeats the outcome
+			// cache (the point is to measure recompilation), while the
+			// snapshot store matches on content, not name.
+			job := jobFor(fmt.Sprintf("incr-%d", i), i, 1)
+			results, _, err := pipeline.Run(ctx, []pipeline.Job{job},
+				pipeline.Options{Workers: 1, Cache: pipeline.NewCache(), Snapshots: snaps})
+			if err != nil || results[0].Err != nil {
+				b.Fatal(err, results[0].Err)
+			}
+		}
+		b.StopTimer()
+		st := snaps.Stats()
+		if st.PrefixHits < int64(b.N) {
+			b.Fatalf("only %d of %d iterations resumed from the prefix", st.PrefixHits, b.N)
+		}
+	})
+}

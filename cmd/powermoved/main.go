@@ -54,14 +54,26 @@ func main() {
 		storeDir   = flag.String("store-dir", "", "disk result-store directory; compiled results survive restarts (empty = memory only)")
 		storeMax   = flag.Int64("store-max-bytes", 256<<20, "disk result-store size bound in bytes (0 = unbounded)")
 		pprofServe = flag.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, goroutine profiles) on the listen address")
+		snapCache  = flag.Int("snapshot-cache", 64, "incremental-compilation snapshot entries retained (0 disables incremental compilation)")
+		noWarm     = flag.Bool("no-warm-start", false, "disable warm-start placement donation from similar cached compiles")
+		speculate  = flag.Bool("speculate", false, "precompile likely grouping/scheme variants of hot requests on idle worker slots")
 	)
 	flag.Parse()
 
 	cfg := powermove.ServerConfig{
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		QueueDepth: *queueDepth,
-		JobTTL:     *jobTTL,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		QueueDepth:  *queueDepth,
+		JobTTL:      *jobTTL,
+		NoWarmStart: *noWarm,
+		Speculate:   *speculate,
+	}
+	// The flag speaks operator language (0 = off); the config speaks
+	// Go-zero-value language (0 = default, negative = off).
+	if *snapCache == 0 {
+		cfg.SnapshotCache = -1
+	} else {
+		cfg.SnapshotCache = *snapCache
 	}
 	if *storeDir != "" {
 		st, err := powermove.OpenResultStore(*storeDir, *storeMax)

@@ -119,6 +119,28 @@ func New(cfg Config) *Arch {
 // TotalSites returns the number of sites across both zones.
 func (a *Arch) TotalSites() int { return a.ComputeSites() + a.StorageSites() }
 
+// Fingerprint hashes every field compiled output depends on — the two
+// grid shapes and the AOD count — so caches can compare architectures
+// without holding the instances. Equal fingerprints on distinct
+// instances mean interchangeable compilation targets (FNV-1a over the
+// five dimensions).
+func (a *Arch) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [...]int{a.ComputeRows, a.ComputeCols, a.StorageRows, a.StorageCols, a.AODs} {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	return h
+}
+
 // SiteIndex returns a dense index for s in [0, TotalSites()): computation
 // sites in row-major order first, then storage sites. The layout and the
 // router use it to keep occupancy in flat slices instead of maps.

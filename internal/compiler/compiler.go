@@ -205,6 +205,17 @@ type Context struct {
 	Batches, BatchesBack []isa.MoveBatch
 
 	rec *recorder
+
+	// Incremental-compilation state (see snapshot.go). capture, when
+	// set, is invoked after every completed block; startBlock is the
+	// first block the lowering loop runs (non-zero on resume); warmHint
+	// seeds the placement pass; runStart/baseElapsed let checkpoints
+	// report the wall clock invested up to their capture.
+	capture     func(*Context)
+	startBlock  int
+	warmHint    *layout.Layout
+	runStart    time.Time
+	baseElapsed time.Duration
 }
 
 // RunPass executes p under the pipeline's timing recorder. Composite
@@ -214,8 +225,13 @@ type Context struct {
 func (c *Context) RunPass(p Pass) error { return c.rec.run(c, p) }
 
 // frame tracks one in-flight pass invocation so a parent's recorded
-// self-time and counters exclude its children's.
+// self-time and counters exclude its children's. The name, start time,
+// and entry counters let a checkpoint snapshot fold the frame's pending
+// self-attribution mid-flight.
 type frame struct {
+	name        string
+	start       time.Time
+	before      Stats
 	childTime   time.Duration
 	childCounts Stats
 }
@@ -256,8 +272,8 @@ func (r *recorder) run(ctx *Context, p Pass) error {
 	}
 
 	before := ctx.Stats
-	r.stack = append(r.stack, frame{})
 	start := time.Now()
+	r.stack = append(r.stack, frame{name: p.Name(), start: start, before: before})
 	err := p.Run(ctx)
 	elapsed := time.Since(start)
 
@@ -302,6 +318,79 @@ func (r *recorder) stats() PassStats {
 		})
 	}
 	return out
+}
+
+// addCounts and subCounts combine the counter fields of two Stats
+// values, leaving the wall-clock fields zero.
+func addCounts(a, b Stats) Stats {
+	return Stats{
+		Blocks:    a.Blocks + b.Blocks,
+		Stages:    a.Stages + b.Stages,
+		Moves:     a.Moves + b.Moves,
+		CollMoves: a.CollMoves + b.CollMoves,
+		Batches:   a.Batches + b.Batches,
+	}
+}
+
+func subCounts(a, b Stats) Stats {
+	return Stats{
+		Blocks:    a.Blocks - b.Blocks,
+		Stages:    a.Stages - b.Stages,
+		Moves:     a.Moves - b.Moves,
+		CollMoves: a.CollMoves - b.CollMoves,
+		Batches:   a.Batches - b.Batches,
+	}
+}
+
+// recorderState is a recorder's accounting frozen at a checkpoint,
+// self-contained so a later resumed run can continue it.
+type recorderState struct {
+	order  []string
+	accums map[string]passAccum
+}
+
+// snapshot deep-copies the recorder's accounting and folds in the
+// pending self-attribution of every in-flight frame (on a checkpoint
+// path that is the lowering loop's frame): each frame's self-time and
+// self counter deltas so far are its total elapsed/delta minus its
+// finished children's and minus the still-running inner frames'. Call
+// counts are not folded — an in-flight invocation counts its call when
+// it completes, and a resumed run's fresh invocation supplies it — so a
+// resumed breakdown's calls match a cold compile's exactly.
+func (r *recorder) snapshot(ctx *Context, now time.Time) recorderState {
+	st := recorderState{
+		order:  append([]string(nil), r.order...),
+		accums: make(map[string]passAccum, len(r.byName)),
+	}
+	for name, a := range r.byName {
+		st.accums[name] = *a
+	}
+	var innerElapsed time.Duration
+	var innerDelta Stats
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		f := r.stack[i]
+		elapsed := now.Sub(f.start)
+		delta := subCounts(ctx.Stats, f.before)
+		ac := st.accums[f.name]
+		ac.duration += elapsed - f.childTime - innerElapsed
+		ac.counts = addCounts(ac.counts, subCounts(subCounts(delta, f.childCounts), innerDelta))
+		st.accums[f.name] = ac
+		innerElapsed = elapsed
+		innerDelta = delta
+	}
+	return st
+}
+
+// seededRecorder builds a live recorder primed with a checkpoint's
+// accounting, so a resumed run's breakdown continues the donor's.
+func seededRecorder(st recorderState) *recorder {
+	r := newRecorder()
+	r.order = append(r.order, st.order...)
+	for name, a := range st.accums {
+		ac := a
+		r.byName[name] = &ac
+	}
+	return r
 }
 
 // Pipeline is a validated, reusable pass composition. Build one with
@@ -354,24 +443,7 @@ func (p *Pipeline) Passes() []string {
 // under the timing recorder, and returns the program, initial layout,
 // and statistics with the per-pass breakdown attached.
 func (p *Pipeline) Run(circ *circuit.Circuit, a *arch.Arch) (*Result, error) {
-	start := time.Now()
-	if circ == nil || a == nil {
-		return nil, fmt.Errorf("%s: nil circuit or architecture", p.name)
-	}
-	ctx := &Context{Circuit: circ, Arch: a, rec: newRecorder()}
-	for _, f := range p.init {
-		if err := f(ctx); err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
-		}
-	}
-	for _, pass := range p.passes {
-		if err := ctx.rec.run(ctx, pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
-		}
-	}
-	ctx.Stats.CompileTime = time.Since(start)
-	ctx.Stats.Passes = ctx.rec.stats()
-	return &Result{Program: ctx.Program, Initial: ctx.Initial, Stats: ctx.Stats}, nil
+	return p.RunOpts(circ, a, RunOptions{})
 }
 
 // blockLoop is the composite lowering pass shared by both pipelines: it
@@ -387,7 +459,7 @@ type blockLoop struct {
 func (bl *blockLoop) Name() string { return "lower" }
 
 func (bl *blockLoop) Run(ctx *Context) error {
-	for bi := range ctx.Circuit.Blocks {
+	for bi := ctx.startBlock; bi < len(ctx.Circuit.Blocks); bi++ {
 		ctx.Block = &ctx.Circuit.Blocks[bi]
 		ctx.BlockIndex = bi
 		ctx.Stats.Blocks++
@@ -408,6 +480,9 @@ func (bl *blockLoop) Run(ctx *Context) error {
 				}
 			}
 			ctx.StageID++
+		}
+		if ctx.capture != nil {
+			ctx.capture(ctx)
 		}
 	}
 	return nil

@@ -76,7 +76,7 @@ func Enola(cfg EnolaConfig) (*Pipeline, error) {
 // quality-over-speed trade-off and the source of its large compile
 // times.
 func misStagePass(restarts int) Pass {
-	return NewPass("mis-stage", func(ctx *Context) error {
+	return NewPassEffects("mis-stage", ReadsBlock|ReadsConfig|ReadsRNG, func(ctx *Context) error {
 		r := restarts
 		if r == 0 {
 			r = 2 * len(ctx.Block.Gates)
@@ -93,7 +93,7 @@ func misStagePass(restarts int) Pass {
 // routeHomePass produces the baseline's doubled movement for one stage:
 // the forward leg to the partners' home sites and the revert leg back.
 func routeHomePass() Pass {
-	return NewPass("route-home", func(ctx *Context) error {
+	return NewPassEffects("route-home", ReadsBlock|ReadsLayout, func(ctx *Context) error {
 		ctx.Moves = stageMoves(ctx.Layout, *ctx.Stage)
 		ctx.MovesBack = reverseMoves(ctx.Moves)
 		ctx.Stats.Moves += len(ctx.Moves) + len(ctx.MovesBack)
@@ -104,7 +104,7 @@ func routeHomePass() Pass {
 // enolaGroupPass packs both legs arrival-order first-fit, the
 // baseline's grouping.
 func enolaGroupPass() Pass {
-	return NewPass("group", func(ctx *Context) error {
+	return NewPassEffects("group", ReadsBlock, func(ctx *Context) error {
 		ctx.Groups = move.GroupInOrder(ctx.Moves)
 		ctx.GroupsBack = move.GroupInOrder(ctx.MovesBack)
 		return nil
@@ -115,7 +115,7 @@ func enolaGroupPass() Pass {
 // accounting counts emitted batches as its CollMoves, preserved here so
 // the unified Stats reproduces the legacy enola.Stats exactly.
 func enolaBatchPass() Pass {
-	return NewPass("batch", func(ctx *Context) error {
+	return NewPassEffects("batch", ReadsBlock|ReadsArch, func(ctx *Context) error {
 		ctx.Batches = collsched.Batch(ctx.Groups, ctx.Arch.AODs)
 		ctx.BatchesBack = collsched.Batch(ctx.GroupsBack, ctx.Arch.AODs)
 		n := len(ctx.Batches) + len(ctx.BatchesBack)
@@ -128,7 +128,7 @@ func enolaBatchPass() Pass {
 // enolaEmitPass interleaves the legs around the Rydberg pulse:
 // out-batches, pulse, revert batches.
 func enolaEmitPass() Pass {
-	return NewPass("emit", func(ctx *Context) error {
+	return NewPassEffects("emit", ReadsBlock|WritesProgram, func(ctx *Context) error {
 		for _, batch := range ctx.Batches {
 			ctx.Program.Instr = append(ctx.Program.Instr, batch)
 		}

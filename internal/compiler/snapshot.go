@@ -1,0 +1,350 @@
+// Incremental compilation support: per-pass effect declarations, block
+// checkpoints, and resumable pipeline runs.
+//
+// A pass may declare the Context state it reads and writes (Effects).
+// From those declarations the driver decides whether a pipeline is
+// Resumable: a resumable pipeline's pre-loop passes depend only on the
+// whole circuit and the architecture, and its per-block lowering
+// depends only on the current block plus the state a Checkpoint
+// restores (working layout, program prefix, stage counter). For such a
+// pipeline, a compile of a circuit sharing a block prefix with an
+// earlier compile can replay the earlier run's Checkpoint — skipping
+// validation, placement, and every already-lowered block — and run only
+// the divergent tail. The replayed run is byte-identical to a cold
+// compile of the same circuit: layouts, programs, and stats counters
+// are deterministic functions of the block prefix, and the recorder
+// snapshot folds the in-flight lowering frame so per-pass call counts
+// and counter deltas match the cold breakdown exactly.
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/isa"
+	"powermove/internal/layout"
+)
+
+// Effects is a bitmask declaring the Context state a pass reads and
+// writes. The driver uses the declarations to decide resumability; they
+// are documentation the compiler can act on, not an enforcement
+// mechanism.
+type Effects uint32
+
+// The effect bits.
+const (
+	// ReadsBlock: the pass depends on the current block and the
+	// per-block dataflow fields (Stages, Moves, Groups, Batches).
+	ReadsBlock Effects = 1 << iota
+	// ReadsCircuit: the pass depends on the whole circuit.
+	ReadsCircuit
+	// ReadsArch: the pass depends on the architecture.
+	ReadsArch
+	// ReadsConfig: the pass depends on construction-time configuration
+	// (alpha, grouping choice, restart counts).
+	ReadsConfig
+	// ReadsLayout: the pass depends on the working layout.
+	ReadsLayout
+	// ReadsRNG: the pass consumes the Context RNG when one is seeded.
+	ReadsRNG
+	// WritesCircuit: the pass replaces the circuit (block fusion). A
+	// pipeline with such a pass is never resumable — the caller's block
+	// hashes no longer describe the circuit being lowered.
+	WritesCircuit
+	// WritesLayout: the pass mutates Initial or the working layout.
+	WritesLayout
+	// WritesProgram: the pass appends to the program under construction.
+	WritesProgram
+)
+
+// EffectsDeclarer is implemented by passes that declare their effects.
+// Passes built with plain NewPass declare nothing and are treated
+// conservatively (their pipeline is not resumable).
+type EffectsDeclarer interface {
+	Effects() Effects
+}
+
+// effectsPass is a passFunc with an effect declaration.
+type effectsPass struct {
+	passFunc
+	eff Effects
+}
+
+func (p effectsPass) Effects() Effects { return p.eff }
+
+// NewPassEffects wraps fn as a named Pass declaring eff.
+func NewPassEffects(name string, eff Effects, fn func(*Context) error) Pass {
+	return effectsPass{passFunc{name: name, fn: fn}, eff}
+}
+
+// effectsOf returns a pass's declaration, reporting whether it made one.
+func effectsOf(p Pass) (Effects, bool) {
+	d, ok := p.(EffectsDeclarer)
+	if !ok {
+		return 0, false
+	}
+	return d.Effects(), true
+}
+
+// Resumable reports whether the pipeline supports checkpoint capture and
+// resume. It requires:
+//
+//   - no init funcs (RNG seeding makes pass behavior depend on how many
+//     random draws preceded the current block — state a Checkpoint does
+//     not carry);
+//   - exactly one lowering loop, in the final pass slot;
+//   - every pre-loop pass declares effects and neither rewrites the
+//     circuit nor consumes randomness;
+//   - every loop sub-pass declares effects and depends only on the
+//     current block, never the whole circuit. (ReadsRNG is tolerated
+//     here: with no init funcs the RNG is nil and the declaration is
+//     vacuous.)
+func (p *Pipeline) Resumable() bool {
+	if len(p.init) > 0 {
+		return false
+	}
+	var loop *blockLoop
+	for i, pass := range p.passes {
+		if bl, ok := pass.(*blockLoop); ok {
+			if loop != nil || i != len(p.passes)-1 {
+				return false
+			}
+			loop = bl
+			continue
+		}
+		eff, ok := effectsOf(pass)
+		if !ok || eff&(WritesCircuit|ReadsRNG) != 0 {
+			return false
+		}
+	}
+	if loop == nil {
+		return false
+	}
+	for _, pass := range loop.blockPasses {
+		eff, ok := effectsOf(pass)
+		if !ok || eff&(ReadsCircuit|WritesCircuit) != 0 {
+			return false
+		}
+	}
+	for _, pass := range loop.stagePasses {
+		eff, ok := effectsOf(pass)
+		if !ok || eff&(ReadsCircuit|WritesCircuit) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpoint is the complete resumable state of a compilation after a
+// whole number of blocks: enough to continue lowering from the next
+// block as if the prefix had just been compiled. Checkpoints are
+// immutable once captured — Resume clones the working layout and
+// copy-on-append shares the instruction prefix — so one checkpoint can
+// seed any number of concurrent resumed runs.
+type Checkpoint struct {
+	// Blocks is the number of completed blocks the checkpoint covers.
+	Blocks int
+	// StageID is the global stage counter after the covered blocks.
+	StageID int
+	// Initial is the placement the compiled program starts from. It is
+	// shared, not cloned: placement never mutates it after the place
+	// pass.
+	Initial *layout.Layout
+	// Layout is the working layout after the covered blocks (cloned at
+	// capture).
+	Layout *layout.Layout
+	// Instr is the program prefix emitted by the covered blocks.
+	Instr []isa.Instruction
+	// Stats holds the compilation counters at capture (wall-clock
+	// fields zeroed).
+	Stats Stats
+	// Elapsed is the compile wall clock invested up to the capture —
+	// what a resume from this checkpoint saves.
+	Elapsed time.Duration
+
+	rec recorderState
+}
+
+// RunOptions parameterizes RunOpts beyond the plain Run path.
+type RunOptions struct {
+	// Resume continues compilation from a checkpoint instead of
+	// starting cold: validation and placement are skipped (their
+	// products are restored from the checkpoint) and lowering starts at
+	// block Resume.Blocks. The circuit must agree with the checkpoint's
+	// covered prefix — the caller establishes that via content hashes —
+	// and the architecture must share the donor's shape.
+	Resume *Checkpoint
+	// WarmStart, on a cold run, seeds the placement pass with a hint
+	// layout from a similar earlier compile; placement keeps every
+	// compatible assignment and repairs the rest. Ignored on resume.
+	WarmStart *layout.Layout
+	// Capture, when set, receives a checkpoint after every completed
+	// block.
+	Capture func(Checkpoint)
+}
+
+// RunOpts is Run with incremental-compilation options. Zero opts is
+// exactly Run.
+func (p *Pipeline) RunOpts(circ *circuit.Circuit, a *arch.Arch, opts RunOptions) (*Result, error) {
+	if circ == nil || a == nil {
+		return nil, fmt.Errorf("%s: nil circuit or architecture", p.name)
+	}
+	if opts.Resume != nil {
+		return p.resume(circ, a, opts)
+	}
+	return p.runCold(circ, a, opts)
+}
+
+// runCold is the ordinary full run, with optional capture and warm-start
+// hint threaded into the context.
+func (p *Pipeline) runCold(circ *circuit.Circuit, a *arch.Arch, opts RunOptions) (*Result, error) {
+	start := time.Now()
+	ctx := &Context{Circuit: circ, Arch: a, rec: newRecorder(), runStart: start, warmHint: opts.WarmStart}
+	if opts.Capture != nil {
+		ctx.capture = func(c *Context) { opts.Capture(c.checkpoint(time.Now())) }
+	}
+	for _, f := range p.init {
+		if err := f(ctx); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+	}
+	for _, pass := range p.passes {
+		if err := ctx.rec.run(ctx, pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+	}
+	ctx.Stats.CompileTime = time.Since(start)
+	ctx.Stats.Passes = ctx.rec.stats()
+	return &Result{Program: ctx.Program, Initial: ctx.Initial, Stats: ctx.Stats}, nil
+}
+
+// resume continues a compilation from a checkpoint: restore the
+// context, then run only the lowering loop starting at the first
+// uncovered block. The reported CompileTime is the checkpoint's
+// invested wall clock plus the tail's, so the duration contract
+// (pass self-times sum to ~CompileTime) still holds.
+func (p *Pipeline) resume(circ *circuit.Circuit, a *arch.Arch, opts RunOptions) (*Result, error) {
+	cp := opts.Resume
+	if !p.Resumable() {
+		return nil, fmt.Errorf("%s: pipeline is not resumable", p.name)
+	}
+	if cp.Initial == nil || cp.Layout == nil {
+		return nil, fmt.Errorf("%s: checkpoint missing layouts", p.name)
+	}
+	if cp.Initial.Qubits() != circ.Qubits {
+		return nil, fmt.Errorf("%s: checkpoint covers %d qubits, circuit has %d", p.name, cp.Initial.Qubits(), circ.Qubits)
+	}
+	if cp.Blocks > len(circ.Blocks) {
+		return nil, fmt.Errorf("%s: checkpoint covers %d blocks, circuit has %d", p.name, cp.Blocks, len(circ.Blocks))
+	}
+	if !sameShape(cp.Initial.Arch(), a) {
+		return nil, fmt.Errorf("%s: checkpoint architecture differs in shape", p.name)
+	}
+	// The validate pass ran before the checkpoint and its accounting is
+	// part of the restored recorder state, but the tail blocks are new
+	// input: re-check the structural invariants without recording.
+	if err := circ.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: validate: %w", p.name, err)
+	}
+	start := time.Now()
+	ctx := &Context{
+		Circuit: circ,
+		Arch:    a,
+		Initial: cp.Initial,
+		Layout:  cp.Layout.Clone(),
+		// Full capacity forces the first tail append to copy, so the
+		// checkpoint's prefix is never written through.
+		Program:     &isa.Program{Name: circ.Name, Qubits: circ.Qubits, Instr: cp.Instr[:len(cp.Instr):len(cp.Instr)]},
+		Stats:       cp.Stats,
+		StageID:     cp.StageID,
+		startBlock:  cp.Blocks,
+		runStart:    start,
+		baseElapsed: cp.Elapsed,
+		rec:         seededRecorder(cp.rec),
+	}
+	if opts.Capture != nil {
+		ctx.capture = func(c *Context) { opts.Capture(c.checkpoint(time.Now())) }
+	}
+	var loop Pass
+	for _, pass := range p.passes {
+		if _, ok := pass.(*blockLoop); ok {
+			loop = pass
+		}
+	}
+	if err := ctx.rec.run(ctx, loop); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.name, err)
+	}
+	ctx.Stats.CompileTime = cp.Elapsed + time.Since(start)
+	ctx.Stats.Passes = ctx.rec.stats()
+	return &Result{Program: ctx.Program, Initial: ctx.Initial, Stats: ctx.Stats}, nil
+}
+
+// sameShape reports whether two architectures agree in every field a
+// checkpointed layout depends on.
+func sameShape(x, y *arch.Arch) bool {
+	return x.ComputeRows == y.ComputeRows && x.ComputeCols == y.ComputeCols &&
+		x.StorageRows == y.StorageRows && x.StorageCols == y.StorageCols &&
+		x.AODs == y.AODs
+}
+
+// checkpoint captures the context's resumable state after the current
+// block.
+func (c *Context) checkpoint(now time.Time) Checkpoint {
+	st := c.Stats
+	st.CompileTime = 0
+	st.Passes = nil
+	instr := make([]isa.Instruction, len(c.Program.Instr))
+	copy(instr, c.Program.Instr)
+	return Checkpoint{
+		Blocks:  c.BlockIndex + 1,
+		StageID: c.StageID,
+		Initial: c.Initial,
+		Layout:  c.Layout.Clone(),
+		Instr:   instr,
+		Stats:   st,
+		Elapsed: c.baseElapsed + now.Sub(c.runStart),
+		rec:     c.rec.snapshot(c, now),
+	}
+}
+
+// placeWarm places every qubit on its hint site when the site is
+// compatible — right zone, in bounds, still free — and repairs the rest
+// onto the zone's first free sites in row-major order. With a row-major
+// hint (every placement this compiler produces cold) the repair is the
+// identity, so warm-started defaults stay byte-identical to cold runs;
+// an arbitrary legal hint yields a different but equally valid initial
+// layout, which the differential tests pin legal-and-equivalent.
+func placeWarm(dst *layout.Layout, hint *layout.Layout, z arch.Zone) {
+	a := dst.Arch()
+	var deferred []int
+	for q := 0; q < dst.Qubits(); q++ {
+		if !hint.Placed(q) {
+			deferred = append(deferred, q)
+			continue
+		}
+		s := hint.SiteOf(q)
+		if s.Zone == z && a.InBounds(s) && dst.Occupancy(s) == 0 {
+			dst.Place(q, s)
+			continue
+		}
+		deferred = append(deferred, q)
+	}
+	if len(deferred) == 0 {
+		return
+	}
+	sites := a.Sites(z)
+	next := 0
+	for _, q := range deferred {
+		for next < len(sites) && dst.Occupancy(sites[next]) > 0 {
+			next++
+		}
+		if next >= len(sites) {
+			// The validate pass guaranteed capacity; unreachable.
+			panic(fmt.Sprintf("compiler: zone %v exhausted repairing warm placement", z))
+		}
+		dst.Place(q, sites[next])
+		next++
+	}
+}

@@ -1,0 +1,69 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"powermove/internal/arch"
+	"powermove/internal/circuit"
+	"powermove/internal/compiler"
+	"powermove/internal/layout"
+	"powermove/internal/verify"
+	"powermove/internal/workload"
+)
+
+// TestWarmStartDifferential: warm-started compiles under arbitrary
+// (legal but scrambled) placement hints must still produce physically
+// legal programs semantically equivalent to their circuits — the PR 5
+// differential suite's contract, extended to the warm-start path. The
+// output may differ from the cold compile (a different initial layout
+// is a different, equally valid starting point); what is pinned is
+// legality and equivalence, plus that every qubit ends up placed
+// exactly once in the requested zone.
+func TestWarmStartDifferential(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		workload.QFT(10),
+		workload.VQE(12),
+		workload.QSim(11, 3),
+	}
+	configs := []struct {
+		name string
+		cfg  compiler.ZonedConfig
+	}{
+		{"with-storage", compiler.ZonedConfig{UseStorage: true}},
+		{"non-storage", compiler.ZonedConfig{}},
+		{"distance", compiler.ZonedConfig{UseStorage: true, Grouping: compiler.GroupingDistance}},
+	}
+	for _, tc := range configs {
+		p, err := compiler.Zoned(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zone := arch.Compute
+		if tc.cfg.UseStorage {
+			zone = arch.Storage
+		}
+		for _, circ := range circuits {
+			hw := arch.New(arch.Config{Qubits: circ.Qubits})
+			// A scrambled legal hint: qubits on the zone's sites in
+			// reversed row-major order, so warm placement keeps every
+			// assignment but produces a layout no cold run would.
+			sites := hw.Sites(zone)
+			hint := layout.New(hw, circ.Qubits)
+			for q := 0; q < circ.Qubits; q++ {
+				hint.Place(q, sites[len(sites)-1-q])
+			}
+			res, err := p.RunOpts(circ, hw, compiler.RunOptions{WarmStart: hint})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, circ.Name, err)
+			}
+			for q := 0; q < circ.Qubits; q++ {
+				if !res.Initial.Placed(q) || res.Initial.SiteOf(q) != sites[len(sites)-1-q] {
+					t.Fatalf("%s/%s: qubit %d did not keep its legal hint site", tc.name, circ.Name, q)
+				}
+			}
+			if r := verify.All(circ, res.Program, res.Initial); !r.OK() {
+				t.Errorf("%s/%s: warm-started compile failed verification:\n%s", tc.name, circ.Name, r)
+			}
+		}
+	}
+}

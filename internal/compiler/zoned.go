@@ -160,7 +160,7 @@ func Zoned(cfg ZonedConfig) (*Pipeline, error) {
 
 // validatePass checks the circuit against the architecture's capacity.
 func validatePass(useStorage bool) Pass {
-	return NewPass("validate", func(ctx *Context) error {
+	return NewPassEffects("validate", ReadsCircuit|ReadsArch, func(ctx *Context) error {
 		if err := ctx.Circuit.Validate(); err != nil {
 			return err
 		}
@@ -177,7 +177,7 @@ func validatePass(useStorage bool) Pass {
 // fusePass merges consecutive blocks with disjoint gate supports
 // (internal/fuse) so they share Rydberg stages.
 func fusePass() Pass {
-	return NewPass("fuse", func(ctx *Context) error {
+	return NewPassEffects("fuse", ReadsCircuit|WritesCircuit, func(ctx *Context) error {
 		ctx.Circuit = fuse.Circuit(ctx.Circuit, fuse.Options{})
 		return nil
 	})
@@ -185,14 +185,22 @@ func fusePass() Pass {
 
 // placePass builds the initial layout (storage zone for the zoned mode,
 // row-major computation zone otherwise), the working layout, and the
-// empty program.
+// empty program. A warm-start hint, when present and qubit-compatible,
+// seeds the placement from a similar earlier compile's layout instead
+// of from scratch; placeWarm keeps every compatible assignment and
+// repairs the rest, so a row-major hint reproduces the cold placement
+// exactly.
 func placePass(useStorage bool) Pass {
-	return NewPass("place", func(ctx *Context) error {
-		ctx.Initial = layout.New(ctx.Arch, ctx.Circuit.Qubits)
+	return NewPassEffects("place", ReadsCircuit|ReadsArch|WritesLayout|WritesProgram, func(ctx *Context) error {
+		zone := arch.Compute
 		if useStorage {
-			ctx.Initial.PlaceAll(arch.Storage)
+			zone = arch.Storage
+		}
+		ctx.Initial = layout.New(ctx.Arch, ctx.Circuit.Qubits)
+		if hint := ctx.warmHint; hint != nil && hint.Qubits() == ctx.Circuit.Qubits {
+			placeWarm(ctx.Initial, hint, zone)
 		} else {
-			ctx.Initial.PlaceAll(arch.Compute)
+			ctx.Initial.PlaceAll(zone)
 		}
 		ctx.Layout = ctx.Initial.Clone()
 		ctx.Program = &isa.Program{Name: ctx.Circuit.Name, Qubits: ctx.Circuit.Qubits}
@@ -203,7 +211,7 @@ func placePass(useStorage bool) Pass {
 // stagePartitionPass schedules the block's gates into Rydberg stages by
 // greedy conflict-graph coloring (internal/stage).
 func stagePartitionPass() Pass {
-	return NewPass("stage-partition", func(ctx *Context) error {
+	return NewPassEffects("stage-partition", ReadsBlock, func(ctx *Context) error {
 		ctx.Stages = stage.Partition(ctx.Block.Gates)
 		ctx.Stats.Stages += len(ctx.Stages)
 		return nil
@@ -213,7 +221,7 @@ func stagePartitionPass() Pass {
 // stageOrderPass reorders the block's stages to minimize inter-zone
 // traffic (Sec. 4.2).
 func stageOrderPass(alpha float64) Pass {
-	return NewPass("stage-order", func(ctx *Context) error {
+	return NewPassEffects("stage-order", ReadsBlock|ReadsConfig, func(ctx *Context) error {
 		ctx.Stages = stage.Order(ctx.Stages, alpha)
 		return nil
 	})
@@ -222,7 +230,7 @@ func stageOrderPass(alpha float64) Pass {
 // routePass runs the continuous router for the current stage, mutating
 // the working layout.
 func routePass(useStorage bool) Pass {
-	return NewPass("route", func(ctx *Context) error {
+	return NewPassEffects("route", ReadsBlock|ReadsLayout|ReadsArch|ReadsConfig|ReadsRNG|WritesLayout, func(ctx *Context) error {
 		moves, err := router.Route(ctx.Layout, *ctx.Stage, useStorage, ctx.RNG)
 		if err != nil {
 			return fmt.Errorf("block %d stage %d: %w", ctx.BlockIndex, ctx.StageID, err)
@@ -237,7 +245,7 @@ func routePass(useStorage bool) Pass {
 // configured heuristic. All three grouping implementations share the
 // pass name, so breakdowns aggregate per slot across configurations.
 func groupPass(group func([]move.Move) []move.CollMove) Pass {
-	return NewPass("group", func(ctx *Context) error {
+	return NewPassEffects("group", ReadsBlock|ReadsConfig, func(ctx *Context) error {
 		ctx.Groups = group(ctx.Moves)
 		ctx.Stats.CollMoves += len(ctx.Groups)
 		return nil
@@ -246,7 +254,7 @@ func groupPass(group func([]move.Move) []move.CollMove) Pass {
 
 // collschedOrderPass orders Coll-Moves move-ins-first (Sec. 6).
 func collschedOrderPass() Pass {
-	return NewPass("collsched-order", func(ctx *Context) error {
+	return NewPassEffects("collsched-order", ReadsBlock, func(ctx *Context) error {
 		ctx.Groups = collsched.OrderByStorageFlow(ctx.Groups)
 		return nil
 	})
@@ -255,7 +263,7 @@ func collschedOrderPass() Pass {
 // batchPass packs ordered Coll-Moves onto the architecture's AOD
 // arrays.
 func batchPass() Pass {
-	return NewPass("batch", func(ctx *Context) error {
+	return NewPassEffects("batch", ReadsBlock|ReadsArch, func(ctx *Context) error {
 		ctx.Batches = collsched.Batch(ctx.Groups, ctx.Arch.AODs)
 		ctx.Stats.Batches += len(ctx.Batches)
 		return nil
@@ -265,7 +273,7 @@ func batchPass() Pass {
 // emitPass appends the stage's move batches and Rydberg pulse to the
 // program.
 func emitPass() Pass {
-	return NewPass("emit", func(ctx *Context) error {
+	return NewPassEffects("emit", ReadsBlock|WritesProgram, func(ctx *Context) error {
 		for _, batch := range ctx.Batches {
 			ctx.Program.Instr = append(ctx.Program.Instr, batch)
 		}

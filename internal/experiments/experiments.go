@@ -202,6 +202,11 @@ type Runner struct {
 	// passes its compile semaphore so experiment runs respect the
 	// service-wide worker bound.
 	Sem chan struct{}
+	// Snapshots, when set, is the incremental-compilation snapshot store
+	// (see pipeline.Options.Snapshots); the compile service shares its
+	// store so experiment sweeps resume from /v1/compile checkpoints and
+	// vice versa. Nil compiles every point cold.
+	Snapshots *pipeline.SnapshotStore
 
 	stats  pipeline.Stats
 	oracle verify.OracleStats
@@ -221,10 +226,11 @@ func (rn *Runner) run(ctx context.Context, jobs []pipeline.Job) (map[pipeline.Ke
 		rn.Cache = pipeline.NewCache()
 	}
 	results, stats, err := pipeline.Run(ctx, jobs, pipeline.Options{
-		Workers:  rn.Jobs,
-		OnResult: rn.OnResult,
-		Cache:    rn.Cache,
-		Sem:      rn.Sem,
+		Workers:   rn.Jobs,
+		OnResult:  rn.OnResult,
+		Cache:     rn.Cache,
+		Sem:       rn.Sem,
+		Snapshots: rn.Snapshots,
 	})
 	rn.stats.Jobs += stats.Jobs
 	if stats.Workers > rn.stats.Workers {

@@ -1,0 +1,161 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSpeculationNeverPreemptsQueuedWork is the load-shedding
+// acceptance: saturate the queue with blocked jobs and assert zero
+// speculation hook runs while anything is queued — idle-slot
+// speculation must strictly yield to admitted work.
+func TestSpeculationNeverPreemptsQueuedWork(t *testing.T) {
+	release := make(chan struct{})
+	var queued atomic.Int64 // jobs admitted but not yet started
+	var specCalls atomic.Int64
+	var violations atomic.Int64
+
+	m := NewManager(Config{
+		Workers: 2,
+		Run: func(ctx context.Context, snap Snapshot, progress func(int, int)) (json.RawMessage, error) {
+			queued.Add(-1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return json.RawMessage(`{}`), nil
+		},
+		Speculate: func(ctx context.Context) bool {
+			specCalls.Add(1)
+			if queued.Load() > 0 {
+				violations.Add(1)
+			}
+			return false
+		},
+	})
+	defer m.Close()
+
+	const jobs = 6 // 2 run, 4 sit in the queue
+	ids := make([]string, jobs)
+	for i := range ids {
+		queued.Add(1)
+		snap, err := m.Submit(Spec{Kind: "work"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = snap.ID
+	}
+	// Poke the workers; with a saturated queue this must not produce a
+	// speculative start.
+	m.Kick()
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) && m.Metrics().Depth > 0 {
+		if specCalls.Load() > 0 && violations.Load() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("speculation hook ran %d times while jobs were queued", v)
+	}
+
+	// Once the queue drains, idle workers do offer their slots.
+	m.Kick()
+	deadline = time.Now().Add(2 * time.Second)
+	for specCalls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if specCalls.Load() == 0 {
+		t.Fatal("idle workers never offered a slot to the speculation hook")
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("speculation hook ran %d times while jobs were queued", v)
+	}
+}
+
+// TestSpeculationPreemptedOnAdmission: a speculation hook in flight has
+// its context canceled the moment real work is admitted, and the
+// admitted job still runs promptly on the single worker.
+func TestSpeculationPreemptedOnAdmission(t *testing.T) {
+	var canceled atomic.Bool
+	hookRunning := make(chan struct{}, 1)
+	m := NewManager(Config{
+		Workers: 1,
+		Run: func(ctx context.Context, snap Snapshot, progress func(int, int)) (json.RawMessage, error) {
+			return json.RawMessage(`{}`), nil
+		},
+		Speculate: func(ctx context.Context) bool {
+			select {
+			case hookRunning <- struct{}{}:
+			default:
+			}
+			select {
+			case <-ctx.Done():
+				canceled.Store(true)
+				return true
+			case <-time.After(5 * time.Second):
+				return false
+			}
+		},
+	})
+	defer m.Close()
+
+	m.Kick()
+	select {
+	case <-hookRunning:
+	case <-time.After(2 * time.Second):
+		t.Fatal("speculation hook never started on the idle worker")
+	}
+	snap, err := m.Submit(Spec{Kind: "work"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, snap.ID, StateDone)
+	if !canceled.Load() {
+		t.Fatal("admission did not cancel the in-flight speculation hook")
+	}
+	if got := m.Metrics().Speculations; got < 1 {
+		t.Fatalf("Speculations = %d, want >= 1 (the hook reported work)", got)
+	}
+}
+
+// TestSpeculationCloseUnblocks: Close cancels an in-flight hook and the
+// workers exit instead of re-polling a hook that keeps reporting work.
+func TestSpeculationCloseUnblocks(t *testing.T) {
+	hookRunning := make(chan struct{}, 1)
+	m := NewManager(Config{
+		Workers: 1,
+		Run: func(ctx context.Context, snap Snapshot, progress func(int, int)) (json.RawMessage, error) {
+			return json.RawMessage(`{}`), nil
+		},
+		Speculate: func(ctx context.Context) bool {
+			select {
+			case hookRunning <- struct{}{}:
+			default:
+			}
+			<-ctx.Done()
+			return true
+		},
+	})
+	m.Kick()
+	select {
+	case <-hookRunning:
+	case <-time.After(2 * time.Second):
+		t.Fatal("speculation hook never started")
+	}
+	done := make(chan struct{})
+	go func() { m.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on an in-flight speculation hook")
+	}
+}

@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"powermove/internal/circuit"
+	"powermove/internal/isa"
+)
+
+// incrCircuit builds a deterministic multi-block circuit; mutTail != 0
+// perturbs the last block, mutHead != 0 the first.
+func incrCircuit(n, blocks, mutHead, mutTail int) *circuit.Circuit {
+	c := circuit.New("incr", n)
+	for i := 0; i < blocks; i++ {
+		a := i % (n - 3)
+		oneQ := i % 3
+		if i == 0 {
+			oneQ += mutHead
+		}
+		if i == blocks-1 {
+			oneQ += mutTail
+		}
+		c.AddBlock(oneQ, circuit.NewCZ(a, a+1), circuit.NewCZ(a+2, a+3))
+	}
+	return c
+}
+
+// incrJob wraps circ as a job under bench (distinct benches defeat the
+// outcome cache so the snapshot path actually runs).
+func incrJob(bench string, circ *circuit.Circuit, aods int) Job {
+	return NewJob(bench, WithStorage, aods, func() (*circuit.Circuit, error) { return circ, nil })
+}
+
+// coldCompile compiles circ with no snapshot store and a private cache:
+// the byte-identity reference.
+func coldCompile(t *testing.T, bench string, circ *circuit.Circuit, aods int) Result {
+	t.Helper()
+	results, _, err := Run(context.Background(), []Job{incrJob(bench, circ, aods)},
+		Options{Workers: 1, Cache: NewCache()})
+	if err != nil || results[0].Err != nil {
+		t.Fatal(err, results[0].Err)
+	}
+	return results[0]
+}
+
+// snapCompile compiles circ through snaps with a private cache,
+// capturing artifacts.
+func snapCompile(t *testing.T, snaps *SnapshotStore, bench string, circ *circuit.Circuit, aods int) (Result, Artifacts) {
+	t.Helper()
+	var art Artifacts
+	job := incrJob(bench, circ, aods)
+	job.Keep = func(a Artifacts) { art = a }
+	results, _, err := Run(context.Background(), []Job{job},
+		Options{Workers: 1, Cache: NewCache(), Snapshots: snaps})
+	if err != nil || results[0].Err != nil {
+		t.Fatal(err, results[0].Err)
+	}
+	return results[0], art
+}
+
+// identical asserts a snapshot-assisted outcome is byte-identical to
+// the cold reference: same stabilized outcome (counters, fidelity,
+// per-pass calls and counter deltas) and same program.
+func identical(t *testing.T, label string, got, want Result, gotProg, wantProg *isa.Program) {
+	t.Helper()
+	g, w := got.Outcome, want.Outcome
+	g.Tcomp, w.Tcomp = 0, 0
+	g.Passes = g.Passes.Stabilized()
+	w.Passes = w.Passes.Stabilized()
+	if !reflect.DeepEqual(g, w) {
+		t.Errorf("%s: outcome diverged from cold compile:\n got %+v\nwant %+v", label, g, w)
+	}
+	if gotProg != nil && wantProg != nil && !reflect.DeepEqual(gotProg.Instr, wantProg.Instr) {
+		t.Errorf("%s: program diverged from cold compile", label)
+	}
+}
+
+// TestIncrementalPrefixReuse is the prefix-reuse correctness table: a
+// request sharing a block prefix with a cached compile resumes (and
+// stays byte-identical to cold); a divergent first block gets no
+// prefix; an identical circuit under a different bench replays the full
+// prefix; an architecture change invalidates everything.
+func TestIncrementalPrefixReuse(t *testing.T) {
+	const n, blocks = 12, 10
+	seedCirc := incrCircuit(n, blocks, 0, 0)
+
+	cases := []struct {
+		name       string
+		circ       *circuit.Circuit
+		aods       int
+		prefixHits int64 // delta expected from this request
+		warmStarts int64
+	}{
+		{"identical-other-bench", incrCircuit(n, blocks, 0, 0), 1, 1, 0},
+		{"shared-prefix-tail-mutated", incrCircuit(n, blocks, 0, 2), 1, 1, 0},
+		{"divergent-first-block", incrCircuit(n, blocks, 2, 0), 1, 0, 1},
+		{"arch-change-full-invalidation", incrCircuit(n, blocks, 0, 0), 2, 0, 0},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snaps := NewSnapshotStore(0)
+			// Seed the store with the donor compile (cold: empty store).
+			seedRes, seedArt := snapCompile(t, snaps, "seed", seedCirc, 1)
+			if st := snaps.Stats(); st.PrefixHits != 0 || st.Entries != 1 {
+				t.Fatalf("seeding: stats = %+v, want 1 entry, 0 hits", st)
+			}
+			identical(t, "seed", seedRes, coldCompile(t, "seed", seedCirc, 1), seedArt.Program, nil)
+
+			before := snaps.Stats()
+			bench := fmt.Sprintf("case-%d", i)
+			res, art := snapCompile(t, snaps, bench, tc.circ, tc.aods)
+			after := snaps.Stats()
+			if got := after.PrefixHits - before.PrefixHits; got != tc.prefixHits {
+				t.Errorf("prefix hits delta = %d, want %d", got, tc.prefixHits)
+			}
+			if got := after.WarmStarts - before.WarmStarts; got != tc.warmStarts {
+				t.Errorf("warm starts delta = %d, want %d", got, tc.warmStarts)
+			}
+			if after.Probes != before.Probes+1 {
+				t.Errorf("probes delta = %d, want 1", after.Probes-before.Probes)
+			}
+			if tc.prefixHits > 0 && after.SavedMS <= before.SavedMS {
+				t.Errorf("prefix hit did not grow the saved-time ledger: %v -> %v", before.SavedMS, after.SavedMS)
+			}
+
+			// Every row of the table — resumed, warm-started, or cold —
+			// must be byte-identical to a cold compile of its circuit.
+			coldRef := coldCompile(t, bench, tc.circ, tc.aods)
+			var coldArt Artifacts
+			coldJob := incrJob(bench, tc.circ, tc.aods)
+			coldJob.Keep = func(a Artifacts) { coldArt = a }
+			coldResults, _, err := Run(context.Background(), []Job{coldJob}, Options{Workers: 1, Cache: NewCache()})
+			if err != nil || coldResults[0].Err != nil {
+				t.Fatal(err, coldResults[0].Err)
+			}
+			identical(t, tc.name, res, coldRef, art.Program, coldArt.Program)
+		})
+	}
+}
+
+// TestIncrementalDisabledWarmStart: with warm-start off, a
+// divergent-first-block request runs fully cold (no donation), while
+// prefix resumption still works.
+func TestIncrementalDisabledWarmStart(t *testing.T) {
+	const n, blocks = 12, 10
+	snaps := NewSnapshotStore(0)
+	snaps.SetWarmStart(false)
+	snapCompile(t, snaps, "seed", incrCircuit(n, blocks, 0, 0), 1)
+
+	snapCompile(t, snaps, "head", incrCircuit(n, blocks, 2, 0), 1)
+	if st := snaps.Stats(); st.WarmStarts != 0 {
+		t.Errorf("warm starts = %d with warm-start disabled", st.WarmStarts)
+	}
+	snapCompile(t, snaps, "tail", incrCircuit(n, blocks, 0, 2), 1)
+	if st := snaps.Stats(); st.PrefixHits != 1 {
+		t.Errorf("prefix hits = %d, want 1 (resumption unaffected)", st.PrefixHits)
+	}
+}
+
+// TestIncrementalLRU: the store retains at most its capacity, evicting
+// least-recently-used entries.
+func TestIncrementalLRU(t *testing.T) {
+	const n, blocks = 12, 4
+	snaps := NewSnapshotStore(2)
+	for i := 0; i < 3; i++ {
+		snapCompile(t, snaps, fmt.Sprintf("lru-%d", i), incrCircuit(n+2*i, blocks, 0, 0), 1)
+	}
+	if st := snaps.Stats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 after eviction", st.Entries)
+	}
+}
+
+// TestIncrementalConcurrent hammers one store from concurrent compiles
+// of related circuits; run under -race this pins the locking. Every
+// result must still be byte-identical to its cold compile.
+func TestIncrementalConcurrent(t *testing.T) {
+	const n, blocks, workers = 12, 8, 8
+	snaps := NewSnapshotStore(0)
+	colds := make([]Result, workers)
+	circs := make([]*circuit.Circuit, workers)
+	for i := range circs {
+		circs[i] = incrCircuit(n, blocks, 0, i%3)
+		colds[i] = coldCompile(t, fmt.Sprintf("conc-%d", i), circs[i], 1)
+	}
+	var wg sync.WaitGroup
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, _, err := Run(context.Background(), []Job{incrJob(fmt.Sprintf("conc-%d", i), circs[i], 1)},
+				Options{Workers: 1, Cache: NewCache(), Snapshots: snaps})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = rs[0], rs[0].Err
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("concurrent-%d: %v", i, errs[i])
+		}
+		identical(t, fmt.Sprintf("concurrent-%d", i), results[i], colds[i], nil, nil)
+	}
+}

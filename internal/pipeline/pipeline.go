@@ -99,6 +99,13 @@ func (k Key) String() string {
 // hardware, compile with the key's scheme, and simulate the result.
 type Job struct {
 	Key Key
+	// Canon is the key's canonical string rendering, computed once by
+	// the submitter (after grouping normalization) and reused across
+	// queue admission, cache probes, and store tiers — the engine never
+	// re-serializes the key per probe. Empty means "derive it here":
+	// runJob fills it from Key.String() after normalization, so ad-hoc
+	// callers need not precompute it.
+	Canon string
 	// Circuit generates the benchmark circuit. It must be deterministic
 	// in Key.Bench — derive any seed from the benchmark identity, never
 	// from the clock — or caching and run-to-run reproducibility break.
@@ -209,6 +216,13 @@ type Options struct {
 	// shares one gate across all requests). Within a run, Workers still
 	// applies; the effective bound is the smaller of the two.
 	Sem chan struct{}
+	// Snapshots, when set, is the per-pass snapshot store: fresh
+	// compiles of resumable pipelines capture per-block checkpoints into
+	// it, and later compiles sharing a block prefix resume from the
+	// longest matching checkpoint (or warm-start placement from the
+	// nearest neighbor) instead of compiling cold. Outputs are
+	// byte-identical either way; nil disables incremental compilation.
+	Snapshots *SnapshotStore
 }
 
 // Stats aggregates one run's engine accounting.
@@ -260,10 +274,12 @@ type cacheEntry struct {
 // disk-backed store (DiskTier over internal/store) so outcomes survive
 // restarts and are shareable between processes. Implementations must be
 // safe for concurrent use; Get misses and Put failures are silent (the
-// tier is an optimization, never a source of truth).
+// tier is an optimization, never a source of truth). Canon is the key's
+// precomputed canonical string, so tiers address storage without
+// re-serializing the key.
 type Tier interface {
-	Get(key Key) (Outcome, bool)
-	Put(key Key, o Outcome)
+	Get(key Key, canon string) (Outcome, bool)
+	Put(key Key, canon string, o Outcome)
 }
 
 // SetTier installs the cache's second level. Call before the cache is
@@ -299,18 +315,18 @@ func (c *Cache) Stats() cache.Stats { return c.ensure().Stats() }
 // that computation finishes) or the second tier had it. Fresh
 // computations are written through to the tier; cancellation errors are
 // evicted so a canceled request never poisons the key for later callers.
-func (c *Cache) getOrCompute(key Key, compute func() (Outcome, error)) (Outcome, error, bool) {
+func (c *Cache) getOrCompute(key Key, canon string, compute func() (Outcome, error)) (Outcome, error, bool) {
 	e, hit := c.ensure().GetOrAdd(key, func() *cacheEntry { return &cacheEntry{} })
 	e.once.Do(func() {
 		if c.tier != nil {
-			if o, ok := c.tier.Get(key); ok {
+			if o, ok := c.tier.Get(key, canon); ok {
 				e.outcome, e.tierHit = o, true
 				return
 			}
 		}
 		e.outcome, e.err = compute()
 		if c.tier != nil && e.err == nil {
-			c.tier.Put(key, e.outcome)
+			c.tier.Put(key, canon, e.outcome)
 		}
 	})
 	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
@@ -362,10 +378,10 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, Stats, error)
 						results[i] = Result{Key: jobs[i].Key, Err: ctx.Err()}
 						continue
 					}
-					r = runJob(jobs[i], cache, &compiles, &hits)
+					r = runJob(jobs[i], cache, opts.Snapshots, &compiles, &hits)
 					<-opts.Sem
 				} else {
-					r = runJob(jobs[i], cache, &compiles, &hits)
+					r = runJob(jobs[i], cache, opts.Snapshots, &compiles, &hits)
 				}
 				results[i] = r
 				if opts.OnResult != nil {
@@ -417,15 +433,18 @@ func FirstError(results []Result) error {
 	return nil
 }
 
-func runJob(job Job, cache *Cache, compiles, hits *atomic.Int64) Result {
+func runJob(job Job, cache *Cache, snaps *SnapshotStore, compiles, hits *atomic.Int64) Result {
 	jobStart := time.Now()
 	// Canonicalize the cache identity here, at the one point every
 	// entry point funnels through, so a job naming the default grouping
 	// explicitly shares the default's cache entry and result key.
 	job.Key.Grouping = compiler.NormalizeGrouping(job.Key.Grouping)
-	outcome, err, hit := cache.getOrCompute(job.Key, func() (Outcome, error) {
+	if job.Canon == "" {
+		job.Canon = job.Key.String()
+	}
+	outcome, err, hit := cache.getOrCompute(job.Key, job.Canon, func() (Outcome, error) {
 		compiles.Add(1)
-		return execute(job)
+		return execute(job, snaps)
 	})
 	if hit {
 		hits.Add(1)
@@ -440,9 +459,11 @@ func runJob(job Job, cache *Cache, compiles, hits *atomic.Int64) Result {
 }
 
 // execute runs one job end to end: generate, build the key's pipeline
-// on the shared pass-manager driver, compile, simulate, and — when the
-// key asks for it — verify the compiled program differentially.
-func execute(job Job) (Outcome, error) {
+// on the shared pass-manager driver, compile (through the snapshot
+// store when one is installed and the pipeline is resumable), simulate,
+// and — when the key asks for it — verify the compiled program
+// differentially.
+func execute(job Job, snaps *SnapshotStore) (Outcome, error) {
 	circ, err := job.Circuit()
 	if err != nil {
 		return Outcome{}, err
@@ -453,7 +474,12 @@ func execute(job Job) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	res, err := p.Run(circ, hw)
+	var res *compiler.Result
+	if snaps != nil && len(circ.Blocks) > 0 && p.Resumable() {
+		res, err = snaps.run(p, job.Key, job.Canon, circ, hw)
+	} else {
+		res, err = p.Run(circ, hw)
+	}
 	if err != nil {
 		return Outcome{}, err
 	}

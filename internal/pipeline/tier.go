@@ -8,16 +8,17 @@ import (
 
 // DiskTier adapts a disk store (internal/store) to the Cache's Tier
 // interface: outcomes are marshaled as JSON under the key's canonical
-// string form. Every outcome field serializes losslessly — the compile
-// wall clock included, though consumers treat tier hits as cached and
-// mask it — so a read-through outcome is indistinguishable from the
+// string form (the precomputed canon — the tier never re-serializes the
+// key). Every outcome field serializes losslessly — the compile wall
+// clock included, though consumers treat tier hits as cached and mask
+// it — so a read-through outcome is indistinguishable from the
 // in-memory entry it restores.
 func DiskTier(st *store.Store) Tier { return diskTier{st} }
 
 type diskTier struct{ st *store.Store }
 
-func (d diskTier) Get(key Key) (Outcome, bool) {
-	raw, ok := d.st.Get(key.String())
+func (d diskTier) Get(key Key, canon string) (Outcome, bool) {
+	raw, ok := d.st.Get(canon)
 	if !ok {
 		return Outcome{}, false
 	}
@@ -30,10 +31,10 @@ func (d diskTier) Get(key Key) (Outcome, bool) {
 	return o, true
 }
 
-func (d diskTier) Put(key Key, o Outcome) {
+func (d diskTier) Put(key Key, canon string, o Outcome) {
 	raw, err := json.Marshal(o)
 	if err != nil {
 		return
 	}
-	d.st.Put(key.String(), raw)
+	d.st.Put(canon, raw)
 }

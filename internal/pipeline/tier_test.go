@@ -19,7 +19,7 @@ type memTier struct {
 	puts int
 }
 
-func (t *memTier) Get(key Key) (Outcome, bool) {
+func (t *memTier) Get(key Key, canon string) (Outcome, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gets++
@@ -27,7 +27,7 @@ func (t *memTier) Get(key Key) (Outcome, bool) {
 	return o, ok
 }
 
-func (t *memTier) Put(key Key, o Outcome) {
+func (t *memTier) Put(key Key, canon string, o Outcome) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.m == nil {
@@ -111,7 +111,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 		t.Fatalf("test outcome lacks verify/passes: %+v", want)
 	}
 
-	got, ok := tier.Get(job.Key)
+	got, ok := tier.Get(job.Key, job.Key.String())
 	if !ok {
 		t.Fatal("disk tier missed a just-written key")
 	}
@@ -130,14 +130,14 @@ func TestDiskTierRoundTrip(t *testing.T) {
 func TestCanceledErrorNotCached(t *testing.T) {
 	c := NewCache()
 	key := Key{Bench: "x", Scheme: WithStorage, AODs: 1}
-	_, err, _ := c.getOrCompute(key, func() (Outcome, error) {
+	_, err, _ := c.getOrCompute(key, key.String(), func() (Outcome, error) {
 		return Outcome{}, context.Canceled
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
 	ran := false
-	o, err, hit := c.getOrCompute(key, func() (Outcome, error) {
+	o, err, hit := c.getOrCompute(key, key.String(), func() (Outcome, error) {
 		ran = true
 		return Outcome{Stages: 7}, nil
 	})

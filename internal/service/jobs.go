@@ -103,7 +103,7 @@ func (s *Server) SubmitJob(req *JobRequest) (jobs.Snapshot, error) {
 			return jobs.Snapshot{}, &RequestError{err}
 		}
 		spec.Kind = JobCompile
-		spec.Key = "compile:" + plan.job.Key.String()
+		spec.Key = "compile:" + plan.canon
 		spec.Payload, err = json.Marshal(req.Compile)
 		if err != nil {
 			return jobs.Snapshot{}, err
@@ -116,7 +116,7 @@ func (s *Server) SubmitJob(req *JobRequest) (jobs.Snapshot, error) {
 			return jobs.Snapshot{}, &RequestError{err}
 		}
 		spec.Kind = JobVerify
-		spec.Key = "compile:" + plan.job.Key.String()
+		spec.Key = "compile:" + plan.canon
 		spec.Payload, err = json.Marshal(&forced)
 		if err != nil {
 			return jobs.Snapshot{}, err

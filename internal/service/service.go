@@ -65,6 +65,19 @@ type Config struct {
 	// in-memory miss reads through before compiling, so compiled results
 	// survive daemon restarts. Open one with store.Open.
 	Store *store.Store
+	// SnapshotCache bounds the incremental-compilation snapshot store
+	// (per-block compiler checkpoints, see pipeline.SnapshotStore): 0
+	// selects pipeline.DefaultSnapshotCap, negative disables incremental
+	// compilation entirely (every compile is cold).
+	SnapshotCache int
+	// NoWarmStart disables warm-start placement donation (the
+	// -no-warm-start escape hatch); prefix resumption is unaffected.
+	NoWarmStart bool
+	// Speculate enables speculative precompilation: idle job-worker slots
+	// precompile likely ablation variants (grouping and scheme
+	// substitutions) of freshly compiled requests at lowest priority,
+	// strictly load-shedding to real work.
+	Speculate bool
 }
 
 // Server is the compile service: a shared LRU outcome cache, a
@@ -78,6 +91,8 @@ type Server struct {
 	start   time.Time
 	jobs    *jobs.Manager
 	store   *store.Store
+	snaps   *pipeline.SnapshotStore
+	spec    *speculator
 
 	// compileOne executes one validated job; tests substitute a
 	// controlled implementation to observe dedup behavior.
@@ -107,15 +122,26 @@ func New(cfg Config) *Server {
 	if cfg.Store != nil {
 		s.cache.SetTier(pipeline.DiskTier(cfg.Store))
 	}
+	if cfg.SnapshotCache >= 0 {
+		s.snaps = pipeline.NewSnapshotStore(cfg.SnapshotCache)
+		s.snaps.SetWarmStart(!cfg.NoWarmStart)
+	}
+	if cfg.Speculate {
+		s.spec = newSpeculator(s)
+	}
 	// Job workers match the compile-concurrency bound: more would only
 	// stack up on the compile semaphore.
-	s.jobs = jobs.NewManager(jobs.Config{
+	jc := jobs.Config{
 		Depth:   cfg.QueueDepth,
 		Workers: workers,
 		TTL:     cfg.JobTTL,
 		Run:     s.runJob,
 		CodeOf:  errorCode,
-	})
+	}
+	if s.spec != nil {
+		jc.Speculate = s.spec.speculate
+	}
+	s.jobs = jobs.NewManager(jc)
 	return s
 }
 
@@ -263,9 +289,13 @@ type CompileResponse struct {
 }
 
 // compilePlan is a validated, normalized request: the batch job plus the
-// request facts the response echoes.
+// request facts the response echoes. canon is the key's canonical string
+// form, serialized once here and reused by every identity consumer —
+// the singleflight group, the async dedup key, the cache's disk tier —
+// instead of each re-serializing the key.
 type compilePlan struct {
 	job    pipeline.Job
+	canon  string
 	qubits int
 	stable bool
 }
@@ -319,7 +349,8 @@ func (req *CompileRequest) validate() (*compilePlan, error) {
 	}
 	job.Key.Grouping = grouping
 	job.Key.Verify = req.Verify
-	return &compilePlan{job: job, qubits: qubits, stable: req.Stable}, nil
+	job.Canon = job.Key.String()
+	return &compilePlan{job: job, canon: job.Canon, qubits: qubits, stable: req.Stable}, nil
 }
 
 // knownFamily reports whether family has a generator, without paying
@@ -381,7 +412,7 @@ func (s *Server) compile(ctx context.Context, req *CompileRequest, detach bool) 
 	if detach {
 		leaderCtx = context.WithoutCancel(ctx)
 	}
-	resp, err, joined := s.flight.do(ctx, spec.job.Key.String(), func() (*CompileResponse, error) {
+	resp, err, joined := s.flight.do(ctx, spec.canon, func() (*CompileResponse, error) {
 		result, err := s.compileOne(leaderCtx, spec.job)
 		if err != nil {
 			return nil, err
@@ -392,6 +423,16 @@ func (s *Server) compile(ctx context.Context, req *CompileRequest, detach bool) 
 		if !result.Cached {
 			s.passes.observe(result.Outcome.Passes)
 			s.verifies.observe(result.Outcome.Verify)
+		}
+		if s.spec != nil {
+			// Drive the speculative-precompilation policy from the sync
+			// compile path: a cache hit may redeem a speculated variant;
+			// a fresh compile nominates its own ablation variants.
+			if result.Cached {
+				s.spec.creditHit(spec.canon)
+			} else {
+				s.spec.offer(spec.job)
+			}
 		}
 		return s.response(spec, result), nil
 	})
@@ -414,7 +455,7 @@ func (s *Server) compile(ctx context.Context, req *CompileRequest, detach bool) 
 // pipelineCompile runs one job on the batch engine against the shared
 // cache, gated by the service-wide compile semaphore.
 func (s *Server) pipelineCompile(ctx context.Context, job pipeline.Job) (pipeline.Result, error) {
-	results, stats, err := pipeline.Run(ctx, []pipeline.Job{job}, pipeline.Options{Workers: 1, Cache: s.cache, Sem: s.sem})
+	results, stats, err := pipeline.Run(ctx, []pipeline.Job{job}, pipeline.Options{Workers: 1, Cache: s.cache, Sem: s.sem, Snapshots: s.snaps})
 	if err != nil {
 		return pipeline.Result{}, err
 	}
@@ -497,7 +538,7 @@ func (s *Server) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, 
 	}
 	var stats pipeline.Stats
 	if len(jobs) > 0 {
-		results, st, err := pipeline.Run(ctx, jobs, pipeline.Options{Workers: s.workers, Cache: s.cache, Sem: s.sem})
+		results, st, err := pipeline.Run(ctx, jobs, pipeline.Options{Workers: s.workers, Cache: s.cache, Sem: s.sem, Snapshots: s.snaps})
 		if err != nil {
 			return nil, err
 		}
@@ -569,7 +610,7 @@ func (s *Server) Experiment(ctx context.Context, kind, id string, stable bool) (
 // experiment is Experiment plus an optional per-point progress callback,
 // which async experiment jobs stream to their event feed.
 func (s *Server) experiment(ctx context.Context, kind, id string, stable bool, progress func(done, total int)) (*ExperimentDoc, error) {
-	rn := &experiments.Runner{Jobs: s.workers, Cache: s.cache, Sem: s.sem,
+	rn := &experiments.Runner{Jobs: s.workers, Cache: s.cache, Sem: s.sem, Snapshots: s.snaps,
 		// Stream completions into the cumulative per-pass ledger;
 		// cache hits carry a breakdown already accounted for by the
 		// compile that produced them.

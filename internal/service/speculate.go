@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"powermove/internal/compiler"
+	"powermove/internal/pipeline"
+)
+
+// maxSpeculative bounds the pending speculative-variant queue; beyond it
+// new nominations are dropped (the queue describes *likely next
+// requests*, and a deep backlog of stale guesses is worth less than the
+// memory it pins).
+const maxSpeculative = 64
+
+// speculator implements the speculative-precompilation policy behind
+// Config.Speculate: every fresh compile on the sync path nominates its
+// likely ablation variants — the other grouping substitutions and the
+// flipped storage scheme, the axes the paper's evaluation sweeps — and
+// idle job-worker slots (jobs.Config.Speculate) compile them one at a
+// time, lowest priority, against the shared cache and snapshot store. A
+// later real request for a speculated variant is then a cache hit; the
+// speculator credits it to the saved-time ledger.
+//
+// Load shedding is strict by construction: the hook only runs when the
+// job queue is empty (the manager's contract), acquires the compile
+// semaphore non-blockingly, and its context is canceled the moment real
+// work is admitted.
+type speculator struct {
+	s *Server
+
+	mu       sync.Mutex
+	queue    []pipeline.Job
+	queued   map[string]bool  // canon -> pending in queue
+	seen     map[string]bool  // canon -> already speculated or requested
+	done     map[string]int64 // canon -> speculative compile ns, awaiting a hit
+	inflight bool
+
+	candidates int64
+	compiles   int64
+	hits       int64
+	savedNS    int64
+}
+
+func newSpeculator(s *Server) *speculator {
+	return &speculator{
+		s:      s,
+		queued: make(map[string]bool),
+		seen:   make(map[string]bool),
+		done:   make(map[string]int64),
+	}
+}
+
+// offer nominates the ablation variants of a freshly compiled job:
+// the other grouping passes under the same scheme, plus the flipped
+// with-storage/non-storage scheme under the same grouping. Variants skip
+// verification (the program, not its certificate, is what a sweep
+// re-requests) and reuse the origin's circuit closure. Duplicates and
+// already-requested keys are dropped; the job manager is kicked so an
+// idle worker picks the queue up immediately.
+func (sp *speculator) offer(job pipeline.Job) {
+	if job.Key.Scheme == pipeline.Enola {
+		return // the baseline has no grouping/scheme ablation axes
+	}
+	base := job
+	base.Keep = nil
+	base.Key.Verify = false
+
+	var variants []pipeline.Job
+	for _, g := range []string{"", compiler.GroupingDistance, compiler.GroupingInOrder} {
+		if g == job.Key.Grouping {
+			continue
+		}
+		v := base
+		v.Key.Grouping = g
+		variants = append(variants, v)
+	}
+	flip := base
+	if flip.Key.Scheme == pipeline.WithStorage {
+		flip.Key.Scheme = pipeline.NonStorage
+	} else {
+		flip.Key.Scheme = pipeline.WithStorage
+	}
+	variants = append(variants, flip)
+
+	sp.mu.Lock()
+	sp.seen[job.Canon] = true // the origin itself is compiled; never speculate it
+	for _, v := range variants {
+		v.Canon = v.Key.String()
+		if sp.seen[v.Canon] || sp.queued[v.Canon] || len(sp.queue) >= maxSpeculative {
+			continue
+		}
+		sp.queued[v.Canon] = true
+		sp.candidates++
+		sp.queue = append(sp.queue, v)
+	}
+	kick := len(sp.queue) > 0
+	sp.mu.Unlock()
+	if kick {
+		sp.s.jobs.Kick()
+	}
+}
+
+// creditHit redeems a speculated variant: the cache hit the caller just
+// served was precompiled here, so its compile time moves to the
+// saved-time ledger. Canons never speculated (or already credited) are
+// recorded as seen so offer stops nominating work the client evidently
+// orders directly.
+func (sp *speculator) creditHit(canon string) {
+	sp.mu.Lock()
+	if ns, ok := sp.done[canon]; ok {
+		sp.hits++
+		sp.savedNS += ns
+		delete(sp.done, canon)
+	}
+	sp.seen[canon] = true
+	sp.mu.Unlock()
+}
+
+// speculate is the jobs.Config.Speculate hook: called with the manager
+// unlocked, only when the job queue is empty, with ctx canceled the
+// moment real work is admitted. It compiles at most one pending variant,
+// acquiring the compile semaphore non-blockingly — if every slot is
+// busy with real compiles, the variant goes back in the queue and the
+// worker returns to waiting. Returns whether it did any work.
+func (sp *speculator) speculate(ctx context.Context) bool {
+	sp.mu.Lock()
+	if sp.inflight || len(sp.queue) == 0 {
+		sp.mu.Unlock()
+		return false
+	}
+	job := sp.queue[0]
+	sp.queue = append([]pipeline.Job(nil), sp.queue[1:]...)
+	sp.inflight = true
+	sp.mu.Unlock()
+
+	requeue := func() {
+		sp.mu.Lock()
+		sp.queue = append([]pipeline.Job{job}, sp.queue...)
+		sp.inflight = false
+		sp.mu.Unlock()
+	}
+	if ctx.Err() != nil {
+		requeue()
+		return false
+	}
+	select {
+	case sp.s.sem <- struct{}{}:
+	default:
+		requeue()
+		return false
+	}
+	defer func() { <-sp.s.sem }()
+
+	// No Sem in the options: the slot is already held above, and holding
+	// it across the blocking acquire inside pipeline.Run would deadlock.
+	results, stats, err := pipeline.Run(ctx, []pipeline.Job{job},
+		pipeline.Options{Workers: 1, Cache: sp.s.cache, Snapshots: sp.s.snaps})
+	if err != nil || ctx.Err() != nil {
+		// Preempted by real admission (or shutdown) mid-compile: the
+		// variant is still worth having, so it goes back in the queue.
+		requeue()
+		return false
+	}
+	sp.s.compiles.Add(int64(stats.Compiles))
+
+	fresh := len(results) == 1 && results[0].Err == nil && !results[0].Cached
+	sp.mu.Lock()
+	sp.inflight = false
+	delete(sp.queued, job.Canon)
+	sp.seen[job.Canon] = true
+	if fresh {
+		sp.compiles++
+		sp.done[job.Canon] = int64(results[0].Outcome.Tcomp)
+	}
+	sp.mu.Unlock()
+	if fresh {
+		sp.s.passes.observe(results[0].Outcome.Passes)
+		sp.s.verifies.observe(results[0].Outcome.Verify)
+	}
+	// Errored or already-cached variants still count as a hook turn:
+	// returning true keeps the worker polling the real queue instead of
+	// sleeping on a non-empty speculative backlog.
+	return true
+}
+
+// metrics snapshots the speculator's counters for /metrics.
+func (sp *speculator) metrics() SpeculationMetrics {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	queued := len(sp.queue)
+	if sp.inflight {
+		queued++
+	}
+	return SpeculationMetrics{
+		Enabled:    true,
+		Queued:     queued,
+		Candidates: sp.candidates,
+		Compiles:   sp.compiles,
+		Hits:       sp.hits,
+		SavedMS:    float64(sp.savedNS) / 1e6,
+	}
+}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"reflect"
 	"testing"
 
 	"powermove/internal/compiler"
@@ -124,6 +125,46 @@ func FuzzCompileVerify(f *testing.F) {
 		if !r.OK() {
 			t.Fatalf("compile %s (%d AODs) produced an illegal or inequivalent program:\n%s",
 				circ.Name, hw.AODs, r)
+		}
+
+		// Mutate-and-recompile mode: for resumable pipelines, capture
+		// per-block checkpoints, perturb the last block, and demand the
+		// incremental recompile (resume from the deepest shared
+		// checkpoint) is byte-identical to a cold compile of the mutated
+		// circuit — and still verifies clean.
+		if p.Resumable() && len(circ.Blocks) >= 2 {
+			var cps []compiler.Checkpoint
+			if _, err := p.RunOpts(circ, hw, compiler.RunOptions{
+				Capture: func(cp compiler.Checkpoint) { cps = append(cps, cp) },
+			}); err != nil {
+				t.Fatalf("captured recompile of %s: %v", circ.Name, err)
+			}
+			mut := circ.Clone()
+			last := &mut.Blocks[len(mut.Blocks)-1]
+			if len(last.Gates) > 0 {
+				last.Gates = last.Gates[:len(last.Gates)-1]
+			} else {
+				last.OneQ++
+			}
+			cold, err := p.Run(mut, hw)
+			if err != nil {
+				t.Fatalf("cold compile of mutated %s: %v", circ.Name, err)
+			}
+			inc, err := p.RunOpts(mut, hw, compiler.RunOptions{Resume: &cps[len(cps)-2]})
+			if err != nil {
+				t.Fatalf("incremental recompile of mutated %s: %v", circ.Name, err)
+			}
+			if !reflect.DeepEqual(inc.Program.Instr, cold.Program.Instr) {
+				t.Fatalf("incremental recompile of %s diverged from the cold compile", circ.Name)
+			}
+			for q := 0; q < mut.Qubits; q++ {
+				if inc.Initial.SiteOf(q) != cold.Initial.SiteOf(q) {
+					t.Fatalf("incremental recompile of %s moved qubit %d's initial placement", circ.Name, q)
+				}
+			}
+			if ri := All(mut, inc.Program, inc.Initial); !ri.OK() {
+				t.Fatalf("incremental recompile of %s failed verification:\n%s", circ.Name, ri)
+			}
 		}
 	})
 }

@@ -209,4 +209,93 @@ if (m.get("store") or {}).get("hits", 0) < 1:
 print("service_smoke: restart over the same -store-dir serves the prior result from disk")
 PYEOF
 
+# --- Incremental compilation ---------------------------------------
+# Two inline QASM programs sharing an 11-block prefix (only the last
+# cz layer differs): the tail-edited resubmission must resume from the
+# first compile's per-pass snapshots (incremental_prefix_hits rises,
+# the saved-time ledger grows) while the response stays byte-identical
+# to a cold CLI compile of the same mutated program.
+python3 - "$TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+def layered(n, layers, shift):
+    lines = ['OPENQASM 2.0;', 'include "qelib1.inc";', f'qreg q[{n}];']
+    for l in range(layers):
+        lines += [f'h q[{q}];' for q in range(n)]
+        off = l % 2
+        if shift and l == layers - 1:
+            off = 1 - off
+        lines += [f'cz q[{a}], q[{a+1}];' for a in range(off, n - 1, 2)]
+    return '\n'.join(lines) + '\n'
+for name, shift in (('incr-base', False), ('incr-mut', True)):
+    src = layered(10, 12, shift)
+    open(f'{tmp}/{name}.qasm', 'w').write(src)
+    req = {"qasm": src, "scheme": "with-storage", "aods": 1, "stable": True}
+    open(f'{tmp}/{name}-req.json', 'w').write(json.dumps(req))
+PYEOF
+curl -fsS -X POST "http://$ADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d @"$TMP/incr-base-req.json" > "$TMP/incr-base.json"
+grep -q '"cached": false' "$TMP/incr-base.json"
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics-incr-before.json"
+curl -fsS -X POST "http://$ADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d @"$TMP/incr-mut-req.json" > "$TMP/incr-mut.json"
+grep -q '"cached": false' "$TMP/incr-mut.json"
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics-incr-after.json"
+python3 - "$TMP/metrics-incr-before.json" "$TMP/metrics-incr-after.json" <<'PYEOF'
+import json, sys
+before, after = [json.load(open(p))["incremental"] for p in sys.argv[1:]]
+if not after["enabled"]:
+    sys.exit(f"incremental subsystem disabled on the default daemon: {after}")
+if after["incremental_prefix_hits"] <= before["incremental_prefix_hits"]:
+    sys.exit(f"tail edit produced no prefix hit: {before} -> {after}")
+if after["saved_ms"] <= before["saved_ms"]:
+    sys.exit(f"prefix hit did not grow the saved-time ledger: {before} -> {after}")
+print("service_smoke: tail-edited resubmission resumed from the snapshot prefix")
+PYEOF
+"$TMP/powermove" -qasm "$TMP/incr-mut.qasm" -json -stable > "$TMP/incr-cold.json"
+cmp "$TMP/incr-mut.json" "$TMP/incr-cold.json"
+echo "service_smoke: incremental recompile is byte-identical to a cold CLI compile"
+
+# --- Speculative precompilation ------------------------------------
+# A -speculate daemon nominates the grouping/scheme variants of a
+# fresh compile and precompiles them on idle workers; the later real
+# request for a variant is a cache hit credited to speculative_hits.
+"$TMP/powermoved" -addr "$ADDR2" -speculate &
+DAEMON2=$!
+wait_up "$ADDR2"
+curl -fsS -X POST "http://$ADDR2/v1/compile" \
+  -H 'Content-Type: application/json' -d "$REQ" > /dev/null
+SPEC_READY=""
+for _ in $(seq 1 150); do
+  curl -fsS "http://$ADDR2/metrics" > "$TMP/metrics-spec.json"
+  if python3 -c 'import json, sys
+s = json.load(open(sys.argv[1]))["speculation"]
+sys.exit(0 if s["queued"] == 0 and s["speculative_compiles"] >= 3 else 1)' "$TMP/metrics-spec.json"; then
+    SPEC_READY=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$SPEC_READY" ]; then
+  echo "service_smoke: speculation never drained its variant queue" >&2
+  cat "$TMP/metrics-spec.json" >&2
+  exit 1
+fi
+VARREQ='{"workload":{"family":"QFT","qubits":18},"scheme":"with-storage","aods":1,"grouping":"distance","stable":true}'
+curl -fsS -X POST "http://$ADDR2/v1/compile" \
+  -H 'Content-Type: application/json' -d "$VARREQ" > "$TMP/spec-hit.json"
+grep -q '"cached": true' "$TMP/spec-hit.json"
+curl -fsS "http://$ADDR2/metrics" > "$TMP/metrics-spec2.json"
+python3 - "$TMP/metrics-spec2.json" <<'PYEOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["speculation"]
+if s["speculative_hits"] != 1:
+    sys.exit(f"speculative_hits = {s['speculative_hits']}, want 1: {s}")
+if s["saved_ms"] <= 0:
+    sys.exit(f"speculative hit did not grow the saved-time ledger: {s}")
+print("service_smoke: speculated variant served from cache with the hit credited")
+PYEOF
+kill "$DAEMON2" 2>/dev/null || true
+DAEMON2=""
+
 echo "service_smoke: PASS"
