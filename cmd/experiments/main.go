@@ -215,8 +215,8 @@ func main() {
 		if oracle.GatesIn > 0 {
 			fused = 1 - float64(oracle.GatesApplied)/float64(oracle.GatesIn)
 		}
-		fmt.Fprintf(os.Stderr, "oracle: %d states (%d amps) batched in %s, %.0f%% of gates fused away, %.1fM amps/sec\n",
-			oracle.States, oracle.Amps, elapsed.Round(time.Millisecond), 100*fused, ampsPerSec/1e6)
+		fmt.Fprintf(os.Stderr, "oracle: %d states (%d amps) batched in %s, %.0f%% of gates fused away, %d sweep passes folded, %.1fM amps/sec\n",
+			oracle.States, oracle.Amps, elapsed.Round(time.Millisecond), 100*fused, oracle.SweepPassesSaved, ampsPerSec/1e6)
 	}
 	if *jsonOut {
 		// Engine accounting (wall time, worker count) is run metadata,

@@ -10,7 +10,9 @@
 //	qreg q[n];                     // exactly one quantum register
 //	creg c[n];                     // accepted and ignored
 //	h|x|y|z|s|sdg|t|tdg q[i];      // single-qubit gates
+//	sx|sxdg|id q[i];               // single-qubit gates
 //	rx|ry|rz|u1|p (expr) q[i];     // parameterized single-qubit gates
+//	u|u2|u3 (expr, ...) q[i];      // parameterized single-qubit gates
 //	cz q[i], q[j];                 // native two-qubit gate
 //	cx q[i], q[j];                 // lowered to H(t); CZ; H(t)
 //	cp|crz (expr) q[i], q[j];      // lowered to CZ + single-qubit phases
@@ -72,11 +74,13 @@ func Parse(name, src string) (*Program, error) {
 var oneQGates = map[string]bool{
 	"h": true, "x": true, "y": true, "z": true,
 	"s": true, "sdg": true, "t": true, "tdg": true, "id": true,
+	"sx": true, "sxdg": true,
 }
 
 // paramOneQGates is the set of parameterized single-qubit gate names.
 var paramOneQGates = map[string]bool{
 	"rx": true, "ry": true, "rz": true, "u1": true, "p": true,
+	"u": true, "u2": true, "u3": true,
 }
 
 // paramTwoQGates is the set of parameterized controlled-phase gates that

@@ -42,6 +42,23 @@ func TestParseOneQubitGates(t *testing.T) {
 	}
 }
 
+// TestParseExtendedOneQubitGates covers the wider qelib alphabet: y/s/t
+// (now first-class program-layer gates), sx/sxdg, and the multi-parameter
+// u/u2/u3 forms (parameters are validated syntactically, not evaluated).
+func TestParseExtendedOneQubitGates(t *testing.T) {
+	p := parse(t, "y q[0];\ns q[1];\nt q[2];\nsx q[3];\nsxdg q[0];\n"+
+		"u(0.1,0.2,0.3) q[1];\nu2(0,pi) q[2];\nu3(pi/2,0,pi) q[3];\n")
+	if p.OneQGates != 8 || p.TwoQGates != 0 {
+		t.Errorf("gate counts = %d/%d, want 8/0", p.OneQGates, p.TwoQGates)
+	}
+	if len(p.Circuit.Blocks) != 1 || p.Circuit.Blocks[0].OneQ != 8 {
+		t.Errorf("blocks = %+v", p.Circuit.Blocks)
+	}
+	if _, err := Parse("bad", "qreg q[2];\nu2 q[0];\n"); err == nil {
+		t.Errorf("u2 without a parameter list should fail")
+	}
+}
+
 // TestCXLowering: cx becomes H(target) CZ H(target).
 func TestCXLowering(t *testing.T) {
 	p := parse(t, "cx q[0], q[1];\n")
@@ -161,7 +178,7 @@ func TestParseErrors(t *testing.T) {
 		{"missing operands", header + "h;\n", "missing operands", 4},
 		{"two-qubit identical operands", header + "cz q[1], q[1];\n", "identical", 4},
 		{"unknown gate", header + "frobnicate q[0];\n", "unsupported", 4},
-		{"unknown gate with params", header + "u3(0.1,0.2,0.3) q[0];\n", "unsupported", 4},
+		{"unknown gate with params", header + "frob(0.1,0.2,0.3) q[0];\n", "unsupported", 4},
 		{"two-qubit gate one operand", header + "cz q[0];\n", "1 operands", 4},
 		{"one-qubit gate two operands", header + "h q[0], q[1];\n", "2 operands", 4},
 		{"param gate without params", header + "rz q[0];\n", "parameter", 4},

@@ -165,6 +165,10 @@ type VerifyMetrics struct {
 	OracleGatesIn      int64   `json:"oracle_gates_in"`
 	OracleGatesApplied int64   `json:"oracle_gates_applied"`
 	FusedGateRatio     float64 `json:"fused_gate_ratio"`
+	// SweepPassesSaved counts the full state traversals the segment
+	// executor folded away on top of fusion (diagonal runs and dense
+	// neighbors merged into single sweeps).
+	SweepPassesSaved int64 `json:"sweep_passes_saved"`
 	// OracleAmpsPerSec is OracleAmps over cumulative oracle wall-clock,
 	// computed at snapshot time (0 until the oracle has run).
 	OracleAmpsPerSec float64 `json:"oracle_amps_per_sec"`
@@ -175,6 +179,7 @@ type verifyLedger struct {
 	checks, clean, violations                      atomic.Int64
 	oracleStates, oracleAmps                       atomic.Int64
 	oracleGatesIn, oracleGatesApplied, oracleNanos atomic.Int64
+	sweepPassesSaved                               atomic.Int64
 }
 
 // observe folds one verified compile's summary into the ledger; nil
@@ -202,6 +207,7 @@ func (vl *verifyLedger) observeOracle(o verify.OracleStats) {
 	vl.oracleAmps.Add(o.Amps)
 	vl.oracleGatesIn.Add(o.GatesIn)
 	vl.oracleGatesApplied.Add(o.GatesApplied)
+	vl.sweepPassesSaved.Add(o.SweepPassesSaved)
 	vl.oracleNanos.Add(o.ElapsedNS)
 }
 
@@ -215,6 +221,7 @@ func (vl *verifyLedger) snapshot() VerifyMetrics {
 		OracleAmps:         vl.oracleAmps.Load(),
 		OracleGatesIn:      vl.oracleGatesIn.Load(),
 		OracleGatesApplied: vl.oracleGatesApplied.Load(),
+		SweepPassesSaved:   vl.sweepPassesSaved.Load(),
 	}
 	if m.OracleGatesIn > 0 {
 		m.FusedGateRatio = 1 - float64(m.OracleGatesApplied)/float64(m.OracleGatesIn)

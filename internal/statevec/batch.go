@@ -182,28 +182,44 @@ func (b *Batch) ApplyCZRun(pairs [][2]int) {
 }
 
 // Run applies progs[i] to state i, parallelizing across states: each
-// state executes its own program serially with the shared kernels, so
-// the result is bit-identical to progs[i] applied to an independent
-// State — the shape verify.AllBatch uses to simulate a heterogeneous
-// corpus in one pass. It panics if len(progs) != States() or any op is
-// malformed; validation runs up front so panics surface on the caller's
-// goroutine.
+// program is compiled once by the segment planner (NewPlan) and each
+// state executes its plan serially with the shared kernels, so the
+// result is bit-identical to State.Apply of the same program on an
+// independent State — the shape verify.AllBatch uses to simulate a
+// heterogeneous corpus in one pass. It panics if len(progs) != States()
+// or any op is malformed; validation runs up front so panics surface on
+// the caller's goroutine.
 func (b *Batch) Run(progs [][]Op) {
 	if len(progs) != b.k {
 		panic(fmt.Sprintf("statevec: %d programs for batch of %d states", len(progs), b.k))
 	}
-	for _, prog := range progs {
-		for _, op := range prog {
-			checkOp(b.n, op)
+	plans := make([]*Plan, len(progs))
+	for i, prog := range progs {
+		plans[i] = NewPlan(b.n, prog)
+	}
+	b.RunPlans(plans)
+}
+
+// RunPlans applies plans[i] to state i — Run for callers that compiled
+// their programs up front (the verify oracle plans each case once and
+// reuses the plans for accounting). Plans are read-only during
+// execution, so one plan may be shared across states and batches. It
+// panics if len(plans) != States() or any plan's register size differs
+// from the batch's.
+func (b *Batch) RunPlans(plans []*Plan) {
+	if len(plans) != b.k {
+		panic(fmt.Sprintf("statevec: %d plans for batch of %d states", len(plans), b.k))
+	}
+	for _, p := range plans {
+		if p.n != b.n {
+			panic(fmt.Sprintf("statevec: plan for %d qubits in batch of %d", p.n, b.n))
 		}
 	}
 	size := 1 << uint(b.n)
 	parallelFor(b.workers, b.k, len(b.amp), func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			view := &State{n: b.n, amp: b.amp[s*size : (s+1)*size : (s+1)*size]}
-			for _, op := range progs[s] {
-				view.applyOp(op, 1)
-			}
+			view.runPlan(plans[s], 1)
 		}
 	})
 }

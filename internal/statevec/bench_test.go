@@ -140,6 +140,55 @@ func BenchmarkBatchRun(b *testing.B) {
 	b.Run("fused/batch", func(b *testing.B) { run(b, fused, true) })
 }
 
+// BenchmarkProgramSweep measures the segment executor against op-by-op
+// application on the compiled-circuit shape the planner targets: repeated
+// "1Q layer, then a run of diagonal gates" rounds. The segmented variant
+// folds each diagonal run into one phase pass and fuses the adjacent 1Q
+// gate into the same traversal, so its sweep count — and wall clock —
+// drops well below one pass per op.
+func BenchmarkProgramSweep(b *testing.B) {
+	const n, rounds = 18, 24
+	rng := rand.New(rand.NewSource(12))
+	var prog []Op
+	for r := 0; r < rounds; r++ {
+		q := rng.Intn(n)
+		switch r % 3 {
+		case 0:
+			prog = append(prog, GateH(q))
+		case 1:
+			prog = append(prog, GateY(q))
+		default:
+			prog = append(prog, GateX(q))
+		}
+		for g := 0; g < 6; g++ {
+			a := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				prog = append(prog, GateRZ(a, rng.Float64()))
+			case 1:
+				prog = append(prog, GateT(a))
+			default:
+				prog = append(prog, GateCZ(a, (a+1+rng.Intn(n-1))%n))
+			}
+		}
+	}
+	plan := NewPlan(n, prog)
+	b.Logf("ops=%d sweeps=%d passes saved=%d isa=%s", plan.Ops(), plan.Sweeps(), plan.PassesSaved(), KernelISA)
+	s := NewRandom(n, rng)
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(prog)) * 16 << uint(n))
+		for i := 0; i < b.N; i++ {
+			s.ApplySequential(prog)
+		}
+	})
+	b.Run("segmented", func(b *testing.B) {
+		b.SetBytes(int64(len(prog)) * 16 << uint(n))
+		for i := 0; i < b.N; i++ {
+			s.RunPlan(plan)
+		}
+	})
+}
+
 func BenchmarkStatevecNorm(b *testing.B) {
 	for _, workers := range []int{1, 0} {
 		rng := rand.New(rand.NewSource(4))

@@ -1,0 +1,125 @@
+// Width-agnostic unrolled kernel blocks, shared by the build-tagged
+// kernel drivers (kernels_portable.go, kernels_amd64v3.go). Each block
+// applies one gate to four consecutive pair ranks with hand-unrolled
+// real/imag float64 arithmetic: the four pairs are fully independent, so
+// the compiler can keep all of them in flight instead of serializing on
+// one complex accumulator chain.
+//
+// Bit-identity pact: every driver applies these blocks — and the scalar
+// tails below them — in ascending pair order, so the per-amplitude
+// operation order is identical across unroll widths and GOAMD64 levels.
+// Two drivers may differ only in how many blocks they issue per loop
+// iteration, never in what arithmetic a given amplitude sees. (gc does
+// not contract a*b+c into FMA at any GOAMD64 level, so the portable and
+// v3 binaries produce bit-identical amplitudes; the differential tests
+// run under both in CI.)
+//
+// The explicit real/imag expressions reproduce Go's complex-multiply
+// lowering term by term (re = ar*br - ai*bi, im = ar*bi + ai*br), with
+// one deliberate simplification: multiplying by the real constant 1/√2
+// in the Hadamard skips the "- 0*imag" term of the full product. The two
+// forms differ only in the sign of an exactly-zero result, which no
+// state reachable from a random start produces.
+package statevec
+
+import "math"
+
+// invSqrt2 is the Hadamard normalization 1/√2, evaluated in constant
+// arithmetic exactly like the complex(1/math.Sqrt2, 0) the pre-unroll
+// kernel used.
+const invSqrt2 = 1 / math.Sqrt2
+
+// u2coef is a 2x2 matrix unpacked into float components once per kernel
+// invocation, so the inner blocks read scalars instead of re-slicing a
+// complex array.
+type u2coef struct {
+	u0r, u0i, u1r, u1i float64
+	u2r, u2i, u3r, u3i float64
+}
+
+func unpackU2(u [4]complex128) u2coef {
+	return u2coef{
+		real(u[0]), imag(u[0]), real(u[1]), imag(u[1]),
+		real(u[2]), imag(u[2]), real(u[3]), imag(u[3]),
+	}
+}
+
+// h4 applies the Hadamard butterfly to pairs (i+k, i+k+bit), k = 0..3.
+func h4(amp []complex128, i, bit int) {
+	a0, b0 := amp[i], amp[i+bit]
+	a1, b1 := amp[i+1], amp[i+1+bit]
+	a2, b2 := amp[i+2], amp[i+2+bit]
+	a3, b3 := amp[i+3], amp[i+3+bit]
+	amp[i] = complex(invSqrt2*(real(a0)+real(b0)), invSqrt2*(imag(a0)+imag(b0)))
+	amp[i+bit] = complex(invSqrt2*(real(a0)-real(b0)), invSqrt2*(imag(a0)-imag(b0)))
+	amp[i+1] = complex(invSqrt2*(real(a1)+real(b1)), invSqrt2*(imag(a1)+imag(b1)))
+	amp[i+1+bit] = complex(invSqrt2*(real(a1)-real(b1)), invSqrt2*(imag(a1)-imag(b1)))
+	amp[i+2] = complex(invSqrt2*(real(a2)+real(b2)), invSqrt2*(imag(a2)+imag(b2)))
+	amp[i+2+bit] = complex(invSqrt2*(real(a2)-real(b2)), invSqrt2*(imag(a2)-imag(b2)))
+	amp[i+3] = complex(invSqrt2*(real(a3)+real(b3)), invSqrt2*(imag(a3)+imag(b3)))
+	amp[i+3+bit] = complex(invSqrt2*(real(a3)-real(b3)), invSqrt2*(imag(a3)-imag(b3)))
+}
+
+// h1 is the scalar tail of h4.
+func h1(amp []complex128, i, bit int) {
+	a, b := amp[i], amp[i+bit]
+	amp[i] = complex(invSqrt2*(real(a)+real(b)), invSqrt2*(imag(a)+imag(b)))
+	amp[i+bit] = complex(invSqrt2*(real(a)-real(b)), invSqrt2*(imag(a)-imag(b)))
+}
+
+// x4 swaps pairs (i+k, i+k+bit), k = 0..3.
+func x4(amp []complex128, i, bit int) {
+	amp[i], amp[i+bit] = amp[i+bit], amp[i]
+	amp[i+1], amp[i+1+bit] = amp[i+1+bit], amp[i+1]
+	amp[i+2], amp[i+2+bit] = amp[i+2+bit], amp[i+2]
+	amp[i+3], amp[i+3+bit] = amp[i+3+bit], amp[i+3]
+}
+
+// x1 is the scalar tail of x4.
+func x1(amp []complex128, i, bit int) {
+	amp[i], amp[i+bit] = amp[i+bit], amp[i]
+}
+
+// rz4 multiplies amp[i..i+3] by the phase (pr, pi).
+func rz4(amp []complex128, i int, pr, pi float64) {
+	a0, a1, a2, a3 := amp[i], amp[i+1], amp[i+2], amp[i+3]
+	amp[i] = complex(real(a0)*pr-imag(a0)*pi, real(a0)*pi+imag(a0)*pr)
+	amp[i+1] = complex(real(a1)*pr-imag(a1)*pi, real(a1)*pi+imag(a1)*pr)
+	amp[i+2] = complex(real(a2)*pr-imag(a2)*pi, real(a2)*pi+imag(a2)*pr)
+	amp[i+3] = complex(real(a3)*pr-imag(a3)*pi, real(a3)*pi+imag(a3)*pr)
+}
+
+// rz1 is the scalar tail of rz4.
+func rz1(amp []complex128, i int, pr, pi float64) {
+	a := amp[i]
+	amp[i] = complex(real(a)*pr-imag(a)*pi, real(a)*pi+imag(a)*pr)
+}
+
+// cz4 negates amp[i..i+3].
+func cz4(amp []complex128, i int) {
+	amp[i] = -amp[i]
+	amp[i+1] = -amp[i+1]
+	amp[i+2] = -amp[i+2]
+	amp[i+3] = -amp[i+3]
+}
+
+// u24 applies the 2x2 matrix c to pairs (i+k, i+k+bit), k = 0..3.
+func u24(amp []complex128, i, bit int, c *u2coef) {
+	u2pair(amp, i, bit, c)
+	u2pair(amp, i+1, bit, c)
+	u2pair(amp, i+2, bit, c)
+	u2pair(amp, i+3, bit, c)
+}
+
+// u2pair applies the 2x2 matrix c to the pair (i, i+bit), with the same
+// per-amplitude operation order as the complex expression
+// u[0]*a + u[1]*b / u[2]*a + u[3]*b it replaces.
+func u2pair(amp []complex128, i, bit int, c *u2coef) {
+	a, b := amp[i], amp[i+bit]
+	ar, ai := real(a), imag(a)
+	br, bi := real(b), imag(b)
+	amp[i] = complex((c.u0r*ar-c.u0i*ai)+(c.u1r*br-c.u1i*bi),
+		(c.u0r*ai+c.u0i*ar)+(c.u1r*bi+c.u1i*br))
+	amp[i+bit] = complex((c.u2r*ar-c.u2i*ai)+(c.u3r*br-c.u3i*bi),
+		(c.u2r*ai+c.u2i*ar)+(c.u3r*bi+c.u3i*br))
+}

@@ -1,0 +1,142 @@
+//go:build amd64.v3
+
+// The GOAMD64=v3 kernel drivers, selected at build time when the
+// toolchain may assume AVX2-class hardware. The drivers issue two
+// independent 4-pair blocks per loop iteration — eight pairs in flight —
+// which the wider register file and three-operand VEX encodings of a v3
+// target can actually sustain. The arithmetic is the same unrolled
+// blocks as the portable path (kernels.go), applied in the same
+// ascending pair order, so amplitudes are bit-identical to a portable
+// build; only the instruction scheduling differs.
+package statevec
+
+// KernelISA names the kernel dispatch path compiled into this binary.
+const KernelISA = "amd64.v3"
+
+// hKernel applies a Hadamard over pair ranks [lo, hi); bit = 1<<q,
+// mask = bit-1.
+func hKernel(amp []complex128, bit, mask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p+8 <= end; p += 8 {
+			h4(amp, i, bit)
+			h4(amp, i+4, bit)
+			i += 8
+		}
+		for ; p+4 <= end; p += 4 {
+			h4(amp, i, bit)
+			i += 4
+		}
+		for ; p < end; p++ {
+			h1(amp, i, bit)
+			i++
+		}
+	}
+}
+
+// xKernel applies a Pauli-X over pair ranks [lo, hi).
+func xKernel(amp []complex128, bit, mask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p+8 <= end; p += 8 {
+			x4(amp, i, bit)
+			x4(amp, i+4, bit)
+			i += 8
+		}
+		for ; p+4 <= end; p += 4 {
+			x4(amp, i, bit)
+			i += 4
+		}
+		for ; p < end; p++ {
+			x1(amp, i, bit)
+			i++
+		}
+	}
+}
+
+// rzKernel multiplies the bit-set half of each pair by phase over pair
+// ranks [lo, hi).
+func rzKernel(amp []complex128, bit, mask int, phase complex128, lo, hi int) {
+	pr, pi := real(phase), imag(phase)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask) + bit
+		for ; p+8 <= end; p += 8 {
+			rz4(amp, i, pr, pi)
+			rz4(amp, i+4, pr, pi)
+			i += 8
+		}
+		for ; p+4 <= end; p += 4 {
+			rz4(amp, i, pr, pi)
+			i += 4
+		}
+		for ; p < end; p++ {
+			rz1(amp, i, pr, pi)
+			i++
+		}
+	}
+}
+
+// czKernel negates amplitudes with both bits set over quad ranks
+// [lo, hi); loBit < hiBit, masks are bit-1.
+func czKernel(amp []complex128, loBit, hiBit, loMask, hiMask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | loMask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, loMask)
+		i = pairIndex(i, hiMask) | loBit | hiBit
+		for ; p+8 <= end; p += 8 {
+			cz4(amp, i)
+			cz4(amp, i+4)
+			i += 8
+		}
+		for ; p+4 <= end; p += 4 {
+			cz4(amp, i)
+			i += 4
+		}
+		for ; p < end; p++ {
+			amp[i] = -amp[i]
+			i++
+		}
+	}
+}
+
+// u2Kernel applies the 2x2 matrix u (row-major) to each (i, i+bit) pair
+// over pair ranks [lo, hi) — the fused form of a run of single-qubit
+// gates.
+func u2Kernel(amp []complex128, bit, mask int, u [4]complex128, lo, hi int) {
+	c := unpackU2(u)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p+8 <= end; p += 8 {
+			u24(amp, i, bit, &c)
+			u24(amp, i+4, bit, &c)
+			i += 8
+		}
+		for ; p+4 <= end; p += 4 {
+			u24(amp, i, bit, &c)
+			i += 4
+		}
+		for ; p < end; p++ {
+			u2pair(amp, i, bit, &c)
+			i++
+		}
+	}
+}

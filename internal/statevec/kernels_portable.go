@@ -1,0 +1,117 @@
+//go:build !amd64.v3
+
+// The portable kernel drivers: the default dispatch path, built whenever
+// GOAMD64 is below v3 (or the target is not amd64). Each driver walks
+// the contiguous pair runs of the blocked rank space and issues one
+// unrolled 4-pair block per iteration; see kernels.go for the blocks and
+// the bit-identity pact with the v3 drivers.
+package statevec
+
+// KernelISA names the kernel dispatch path compiled into this binary.
+// Build-time dispatch: GOAMD64=v3 (or higher) selects the wider drivers
+// in kernels_amd64v3.go; everything else gets this portable path. CI
+// tests both.
+const KernelISA = "portable"
+
+// hKernel applies a Hadamard over pair ranks [lo, hi); bit = 1<<q,
+// mask = bit-1.
+func hKernel(amp []complex128, bit, mask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p+4 <= end; p += 4 {
+			h4(amp, i, bit)
+			i += 4
+		}
+		for ; p < end; p++ {
+			h1(amp, i, bit)
+			i++
+		}
+	}
+}
+
+// xKernel applies a Pauli-X over pair ranks [lo, hi).
+func xKernel(amp []complex128, bit, mask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p+4 <= end; p += 4 {
+			x4(amp, i, bit)
+			i += 4
+		}
+		for ; p < end; p++ {
+			x1(amp, i, bit)
+			i++
+		}
+	}
+}
+
+// rzKernel multiplies the bit-set half of each pair by phase over pair
+// ranks [lo, hi).
+func rzKernel(amp []complex128, bit, mask int, phase complex128, lo, hi int) {
+	pr, pi := real(phase), imag(phase)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask) + bit
+		for ; p+4 <= end; p += 4 {
+			rz4(amp, i, pr, pi)
+			i += 4
+		}
+		for ; p < end; p++ {
+			rz1(amp, i, pr, pi)
+			i++
+		}
+	}
+}
+
+// czKernel negates amplitudes with both bits set over quad ranks
+// [lo, hi); loBit < hiBit, masks are bit-1.
+func czKernel(amp []complex128, loBit, hiBit, loMask, hiMask, lo, hi int) {
+	for p := lo; p < hi; {
+		end := (p | loMask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, loMask)
+		i = pairIndex(i, hiMask) | loBit | hiBit
+		for ; p+4 <= end; p += 4 {
+			cz4(amp, i)
+			i += 4
+		}
+		for ; p < end; p++ {
+			amp[i] = -amp[i]
+			i++
+		}
+	}
+}
+
+// u2Kernel applies the 2x2 matrix u (row-major) to each (i, i+bit) pair
+// over pair ranks [lo, hi) — the fused form of a run of single-qubit
+// gates.
+func u2Kernel(amp []complex128, bit, mask int, u [4]complex128, lo, hi int) {
+	c := unpackU2(u)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p+4 <= end; p += 4 {
+			u24(amp, i, bit, &c)
+			i += 4
+		}
+		for ; p < end; p++ {
+			u2pair(amp, i, bit, &c)
+			i++
+		}
+	}
+}

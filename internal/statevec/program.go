@@ -47,6 +47,13 @@ const (
 	// OpCZRun applies a set of CZ gates as one diagonal sign pass —
 	// the fused form of a run of CZ gates.
 	OpCZRun
+	// OpY, OpS, and OpT extend the 1Q gate set (ROADMAP item 4): Y is a
+	// dense single-qubit gate that joins H/X in 1Q fusion; S and T are
+	// diagonal phase gates that fold into diagonal segments (and into
+	// OpU2 products) like OpZ does.
+	OpY
+	OpS
+	OpT
 )
 
 // Op is one operation of a gate program.
@@ -79,10 +86,19 @@ func GateRZ(q int, theta float64) Op { return Op{Kind: OpRZ, Q: q, Theta: theta}
 // GateCZ returns a controlled-Z between qubits a and b.
 func GateCZ(a, b int) Op { return Op{Kind: OpCZ, Q: a, Q2: b} }
 
+// GateY returns a Pauli-Y on qubit q.
+func GateY(q int) Op { return Op{Kind: OpY, Q: q} }
+
+// GateS returns a phase gate diag(1, i) on qubit q.
+func GateS(q int) Op { return Op{Kind: OpS, Q: q} }
+
+// GateT returns a phase gate diag(1, e^{i*pi/4}) on qubit q.
+func GateT(q int) Op { return Op{Kind: OpT, Q: q} }
+
 // oneQ reports whether the op is a fusable single-qubit gate.
 func (op Op) oneQ() bool {
 	switch op.Kind {
-	case OpH, OpX, OpZ, OpRZ:
+	case OpH, OpX, OpZ, OpRZ, OpY, OpS, OpT:
 		return true
 	}
 	return false
@@ -96,8 +112,14 @@ func (op Op) matrix() [4]complex128 {
 		return [4]complex128{inv, inv, inv, -inv}
 	case OpX:
 		return [4]complex128{0, 1, 1, 0}
+	case OpY:
+		return [4]complex128{0, complex(0, -1), complex(0, 1), 0}
 	case OpZ:
 		return [4]complex128{1, 0, 0, -1}
+	case OpS:
+		return [4]complex128{1, 0, 0, complex(0, 1)}
+	case OpT:
+		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}
 	case OpRZ:
 		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, op.Theta))}
 	default:
@@ -195,10 +217,21 @@ func cancelCZ(run []Op) [][2]int {
 	return pairs
 }
 
-// Apply runs the program on the state, gate by gate, using the blocked
-// (and, on large states, parallel) kernels. Fused programs (see Fuse)
-// apply their OpU2 and OpCZRun forms in single passes.
+// Apply runs the program on the state through the segment executor: the
+// program is compiled to a Plan (diagonal runs folded into single phase
+// sweeps, a neighboring 1Q matrix absorbed into the same traversal; see
+// segment.go) and executed with the blocked, on large states parallel,
+// kernels. Ops the planner cannot fold run exactly as ApplySequential
+// would; folded diagonals agree with it to 1e-12 (sign-only folds are
+// bit-identical).
 func (s *State) Apply(prog []Op) {
+	s.runPlan(NewPlan(s.n, prog), 0)
+}
+
+// ApplySequential runs the program op by op with the dedicated kernels,
+// bypassing the segment planner — the reference semantics the segment
+// executor is differentially tested against.
+func (s *State) ApplySequential(prog []Op) {
 	for _, op := range prog {
 		s.applyOp(op, 0)
 	}
@@ -213,8 +246,14 @@ func (s *State) applyOp(op Op, workers int) {
 		s.h(op.Q, workers)
 	case OpX:
 		s.x(op.Q, workers)
+	case OpY:
+		s.applyU2(op.Q, op.matrix(), workers)
 	case OpZ:
 		s.rz(op.Q, math.Pi, workers)
+	case OpS:
+		s.rz(op.Q, math.Pi/2, workers)
+	case OpT:
+		s.rz(op.Q, math.Pi/4, workers)
 	case OpRZ:
 		s.rz(op.Q, op.Theta, workers)
 	case OpCZ:
@@ -239,7 +278,7 @@ func checkOp(n int, op Op) {
 		}
 	}
 	switch op.Kind {
-	case OpH, OpX, OpZ, OpRZ, OpU2:
+	case OpH, OpX, OpY, OpZ, OpS, OpT, OpRZ, OpU2:
 		check(op.Q)
 	case OpCZ:
 		check(op.Q)

@@ -1,0 +1,485 @@
+// The program-segment executor: compiles a gate program into
+// single-sweep passes before any kernel touches an amplitude.
+//
+// A fused program still pays one full traversal of the 2^n-amplitude
+// state per op. The planner here collapses that further:
+//
+//   - Diagonal folding: a maximal run of diagonal ops (OpZ/OpS/OpT/
+//     OpRZ/OpCZ/OpCZRun) merges into ONE phase pass. CZ content becomes
+//     a parity bitset (signMask); rotation content becomes per-qubit
+//     phase factors, expanded at execution time from a 64-entry in-word
+//     table plus per-word factors for qubits >= 6 — the same
+//     word-blocked decomposition the sign pass uses. A run that is pure
+//     sign content executes through applySigns and stays bit-identical
+//     to sequential application; runs with rotation content agree with
+//     the sequential kernels to 1e-12 (phase products reassociate
+//     floating point, like 1Q fusion).
+//
+//   - Neighbor fusion: a dense 1Q op (OpH/OpX/OpY/OpU2) adjacent to a
+//     diagonal segment applies in the same traversal — sign/phase and
+//     2x2 in one load/store of each cache block — so a typical compiled
+//     block of "1Q layer + CZ stage" touches the state once. When the
+//     diagonal side is pure sign content the fused pass is bit-identical
+//     to [u2Kernel; applySigns] in sequence (negation is exact); an
+//     OpH/OpX/OpY neighbor is lowered to its 2x2 matrix, which is
+//     tolerance-exact like OpU2 fusion.
+//
+// Single ops that nothing folds with keep their dedicated kernels, so an
+// unfoldable program runs exactly as ApplySequential would.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Plan is a gate program compiled into single-sweep segments. Plans are
+// immutable after construction and safe to share: Batch.RunPlans
+// executes one plan per state concurrently, and repeated runs reuse the
+// folded bitsets and phase tables.
+type Plan struct {
+	n      int
+	segs   []segment
+	ops    int
+	sweeps int
+}
+
+// NewPlan compiles prog for an n-qubit register. It panics like
+// State.Apply would on a malformed op; validation runs up front so a bad
+// op never surfaces from inside a worker goroutine.
+func NewPlan(n int, prog []Op) *Plan {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("statevec: qubit count %d outside (0, %d]", n, MaxQubits))
+	}
+	for _, op := range prog {
+		checkOp(n, op)
+	}
+	p := &Plan{n: n, ops: len(prog)}
+	var dense *Op // pending dense 1Q op, may lead a diagonal segment
+	var diag *diagBuilder
+
+	// flush emits everything pending, pairing a leading dense op with the
+	// diagonal run behind it when both exist. A lone single-op diagonal
+	// run passes through as itself, keeping the dedicated kernels.
+	flush := func() {
+		switch {
+		case diag == nil && dense == nil:
+		case diag == nil:
+			p.segs = append(p.segs, segment{kind: segOp, op: *dense})
+		case dense == nil && len(diag.ops) == 1:
+			p.segs = append(p.segs, segment{kind: segOp, op: diag.ops[0]})
+		case dense == nil:
+			p.segs = append(p.segs, segment{kind: segDiag, diag: diag.finalize(n)})
+		default:
+			p.segs = append(p.segs, segment{
+				kind: segDiagU2, diag: diag.finalize(n),
+				q: dense.Q, u: dense.denseMatrix(), u2First: true,
+			})
+		}
+		dense, diag = nil, nil
+	}
+
+	for i := range prog {
+		op := prog[i]
+		switch {
+		case op.isDiagonal():
+			if diag == nil {
+				diag = &diagBuilder{n: n}
+			}
+			diag.add(op)
+		case op.isDenseOneQ():
+			if diag != nil {
+				if dense != nil {
+					// A dense-diag-dense sandwich exceeds one traversal:
+					// emit the leading fusion, pend this op for the next.
+					flush()
+				} else {
+					// Trailing fusion: the diagonal run and this op share
+					// one traversal.
+					p.segs = append(p.segs, segment{
+						kind: segDiagU2, diag: diag.finalize(n),
+						q: op.Q, u: op.denseMatrix(), u2First: false,
+					})
+					diag = nil
+					continue
+				}
+			} else if dense != nil {
+				p.segs = append(p.segs, segment{kind: segOp, op: *dense})
+			}
+			o := op
+			dense = &o
+		default:
+			flush()
+			p.segs = append(p.segs, segment{kind: segOp, op: op})
+		}
+	}
+	flush()
+	p.sweeps = len(p.segs)
+	return p
+}
+
+// Qubits returns the register size the plan was compiled for.
+func (p *Plan) Qubits() int { return p.n }
+
+// Ops returns the source program's op count.
+func (p *Plan) Ops() int { return p.ops }
+
+// Sweeps returns the number of state traversals the plan performs — one
+// per segment.
+func (p *Plan) Sweeps() int { return p.sweeps }
+
+// PassesSaved returns how many state traversals segment folding removed:
+// source ops minus sweeps. This feeds the verify oracle's
+// sweep_passes_saved accounting.
+func (p *Plan) PassesSaved() int { return p.ops - p.sweeps }
+
+// segKind classifies one plan segment.
+type segKind uint8
+
+const (
+	// segOp runs a single op through its dedicated kernel — the
+	// bit-identical unfolded path.
+	segOp segKind = iota
+	// segDiag is a folded diagonal run: one phase/sign sweep.
+	segDiag
+	// segDiagU2 is a folded diagonal run plus a neighboring dense 1Q
+	// matrix, applied in the same traversal. u2First orders the matrix
+	// before the diagonal when the dense op preceded the run.
+	segDiagU2
+)
+
+type segment struct {
+	kind    segKind
+	op      Op            // segOp
+	diag    *diagPass     // segDiag, segDiagU2
+	q       int           // segDiagU2: matrix target qubit
+	u       [4]complex128 // segDiagU2: row-major 2x2 matrix
+	u2First bool          // segDiagU2: matrix applies before the diagonal
+}
+
+// isDiagonal reports whether the op folds into a diagonal segment.
+func (op Op) isDiagonal() bool {
+	switch op.Kind {
+	case OpZ, OpS, OpT, OpRZ, OpCZ, OpCZRun:
+		return true
+	}
+	return false
+}
+
+// isDenseOneQ reports whether the op is a non-diagonal single-qubit gate
+// the planner can absorb into a diagonal segment's traversal as a 2x2
+// matrix.
+func (op Op) isDenseOneQ() bool {
+	switch op.Kind {
+	case OpH, OpX, OpY, OpU2:
+		return true
+	}
+	return false
+}
+
+// denseMatrix returns the 2x2 matrix of a dense 1Q op: the carried
+// matrix for OpU2, the gate matrix otherwise.
+func (op Op) denseMatrix() [4]complex128 {
+	if op.Kind == OpU2 {
+		return op.U
+	}
+	return op.matrix()
+}
+
+// diagPhase returns the phase a diagonal 1Q op applies to the bit-set
+// half of its qubit's pairs — computed exactly like the sequential
+// dispatch (applyOp) computes it, so folding deviates from the
+// sequential reference only by reassociation.
+func (op Op) diagPhase() complex128 {
+	switch op.Kind {
+	case OpZ:
+		return cmplx.Exp(complex(0, math.Pi))
+	case OpS:
+		return cmplx.Exp(complex(0, math.Pi/2))
+	case OpT:
+		return cmplx.Exp(complex(0, math.Pi/4))
+	case OpRZ:
+		return cmplx.Exp(complex(0, op.Theta))
+	default:
+		panic(fmt.Sprintf("statevec: op kind %d is not a 1Q diagonal", op.Kind))
+	}
+}
+
+// diagBuilder accumulates one maximal diagonal run during planning.
+type diagBuilder struct {
+	n      int
+	ops    []Op
+	pairs  [][2]int
+	qphase []complex128 // per-qubit phase product; nil until a rotation lands
+}
+
+func (d *diagBuilder) add(op Op) {
+	d.ops = append(d.ops, op)
+	switch op.Kind {
+	case OpCZ:
+		d.pairs = append(d.pairs, [2]int{op.Q, op.Q2})
+	case OpCZRun:
+		d.pairs = append(d.pairs, op.Pairs...)
+	default: // OpZ, OpS, OpT, OpRZ — validated by checkOp
+		if d.qphase == nil {
+			d.qphase = make([]complex128, d.n)
+			for q := range d.qphase {
+				d.qphase[q] = 1
+			}
+		}
+		d.qphase[op.Q] *= op.diagPhase()
+	}
+}
+
+// diagPass is the executable form of a folded diagonal run. The phase of
+// basis index i decomposes as low[i&63] (qubits 0..5, one in-word table
+// lookup) times the product of highP[k] over set word-index bits (qubits
+// >= 6, recomputed once per 64-amplitude word), negated when the CZ
+// parity bit of i is set.
+type diagPass struct {
+	ops   int      // source ops folded into this pass
+	signs []uint64 // CZ parity bitset; nil when the run has no CZ content
+	rot   bool     // any rotation content (low/highQ/highP are live)
+	low   [64]complex128
+	highQ []uint // word-index shift amounts (qubit - 6)
+	highP []complex128
+}
+
+func (d *diagBuilder) finalize(n int) *diagPass {
+	p := &diagPass{ops: len(d.ops)}
+	if len(d.pairs) > 0 {
+		p.signs = signMask(n, d.pairs)
+	}
+	if d.qphase != nil {
+		p.rot = true
+		for j := 0; j < 64; j++ {
+			ph := complex(1, 0)
+			for q := 0; q < 6 && q < n; q++ {
+				if j>>uint(q)&1 == 1 {
+					ph *= d.qphase[q]
+				}
+			}
+			p.low[j] = ph
+		}
+		for q := 6; q < n; q++ {
+			if d.qphase[q] != 1 {
+				p.highQ = append(p.highQ, uint(q-6))
+				p.highP = append(p.highP, d.qphase[q])
+			}
+		}
+	}
+	return p
+}
+
+// highPhase returns the product of the pass's high-qubit phases selected
+// by word index w.
+func (d *diagPass) highPhase(w int) complex128 {
+	hp := complex(1, 0)
+	for k, sh := range d.highQ {
+		if w>>sh&1 == 1 {
+			hp *= d.highP[k]
+		}
+	}
+	return hp
+}
+
+// RunPlan executes a compiled plan on the state. The plan must have been
+// compiled for the state's register size.
+func (s *State) RunPlan(p *Plan) { s.runPlan(p, 0) }
+
+func (s *State) runPlan(p *Plan, workers int) {
+	if s.n != p.n {
+		panic(fmt.Sprintf("statevec: plan for %d qubits on register of %d", p.n, s.n))
+	}
+	amp := s.amp
+	for si := range p.segs {
+		seg := &p.segs[si]
+		switch seg.kind {
+		case segOp:
+			s.applyOp(seg.op, workers)
+		case segDiag:
+			d := seg.diag
+			if !d.rot {
+				if d.signs == nil {
+					continue // fully cancelled: the identity
+				}
+				parallelFor(workers, len(d.signs), len(amp), func(lo, hi int) {
+					applySigns(amp, d.signs, lo, hi)
+				})
+				continue
+			}
+			words := (len(amp) + 63) / 64
+			parallelFor(workers, words, len(amp), func(lo, hi int) {
+				diagKernel(amp, d, lo, hi)
+			})
+		case segDiagU2:
+			d := seg.diag
+			bit := 1 << uint(seg.q)
+			mask := bit - 1
+			switch {
+			case !d.rot && d.signs == nil: // diagonal side cancelled entirely
+				parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+					u2Kernel(amp, bit, mask, seg.u, lo, hi)
+				})
+			case !d.rot:
+				parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+					signU2Kernel(amp, bit, mask, seg.u, d.signs, seg.u2First, lo, hi)
+				})
+			default:
+				parallelFor(workers, len(amp)/2, len(amp), func(lo, hi int) {
+					diagU2Kernel(amp, bit, mask, seg.u, d, seg.u2First, lo, hi)
+				})
+			}
+		}
+	}
+}
+
+// diagKernel applies a rotation-bearing diagonal pass over the word
+// range [lo, hi): per word one high-qubit phase product, per amplitude
+// one table lookup, one conditional negation, and one complex multiply.
+func diagKernel(amp []complex128, d *diagPass, lo, hi int) {
+	for w := lo; w < hi; w++ {
+		hp := d.highPhase(w)
+		var word uint64
+		if d.signs != nil {
+			word = d.signs[w]
+		}
+		base := w * 64
+		end := base + 64
+		if end > len(amp) {
+			end = len(amp)
+		}
+		for i := base; i < end; i++ {
+			ph := hp * d.low[i-base]
+			if word>>uint(i-base)&1 == 1 {
+				ph = -ph
+			}
+			a := amp[i]
+			amp[i] = complex(real(a)*real(ph)-imag(a)*imag(ph),
+				real(a)*imag(ph)+imag(a)*real(ph))
+		}
+	}
+}
+
+// diagU2Kernel applies a rotation-bearing diagonal pass and a 2x2 matrix
+// on qubit q (bit = 1<<q) in one traversal of pair ranks [lo, hi). The
+// pair walk is sub-blocked at 64-amplitude word boundaries so the
+// high-qubit phase products and sign words hoist out of the per-pair
+// loop: within a sub-block both halves stay inside one word each (for
+// bit < 64 the pair lands in a single word — power-of-two blocks never
+// straddle a boundary; for bit >= 64 the halves share the in-word
+// offset).
+func diagU2Kernel(amp []complex128, bit, mask int, u [4]complex128, d *diagPass, u2First bool, lo, hi int) {
+	c := unpackU2(u)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for p < end {
+			run := end - p
+			if rem := 64 - (i & 63); run > rem {
+				run = rem
+			}
+			j := i + bit
+			wi, wj := i>>6, j>>6
+			hpA := d.highPhase(wi)
+			hpB := hpA
+			if wj != wi {
+				hpB = d.highPhase(wj)
+			}
+			var swA, swB uint64
+			if d.signs != nil {
+				swA, swB = d.signs[wi], d.signs[wj]
+			}
+			offA, offB := uint(i)&63, uint(j)&63
+			for k := 0; k < run; k++ {
+				pa := hpA * d.low[offA]
+				if swA>>offA&1 == 1 {
+					pa = -pa
+				}
+				pb := hpB * d.low[offB]
+				if swB>>offB&1 == 1 {
+					pb = -pb
+				}
+				a, b := amp[i], amp[j]
+				ar, ai := real(a), imag(a)
+				br, bi := real(b), imag(b)
+				if u2First {
+					nar := (c.u0r*ar - c.u0i*ai) + (c.u1r*br - c.u1i*bi)
+					nai := (c.u0r*ai + c.u0i*ar) + (c.u1r*bi + c.u1i*br)
+					nbr := (c.u2r*ar - c.u2i*ai) + (c.u3r*br - c.u3i*bi)
+					nbi := (c.u2r*ai + c.u2i*ar) + (c.u3r*bi + c.u3i*br)
+					amp[i] = complex(nar*real(pa)-nai*imag(pa), nar*imag(pa)+nai*real(pa))
+					amp[j] = complex(nbr*real(pb)-nbi*imag(pb), nbr*imag(pb)+nbi*real(pb))
+				} else {
+					tar := ar*real(pa) - ai*imag(pa)
+					tai := ar*imag(pa) + ai*real(pa)
+					tbr := br*real(pb) - bi*imag(pb)
+					tbi := br*imag(pb) + bi*real(pb)
+					amp[i] = complex((c.u0r*tar-c.u0i*tai)+(c.u1r*tbr-c.u1i*tbi),
+						(c.u0r*tai+c.u0i*tar)+(c.u1r*tbi+c.u1i*tbr))
+					amp[j] = complex((c.u2r*tar-c.u2i*tai)+(c.u3r*tbr-c.u3i*tbi),
+						(c.u2r*tai+c.u2i*tar)+(c.u3r*tbi+c.u3i*tbr))
+				}
+				i++
+				j++
+				offA++
+				offB++
+			}
+			p += run
+		}
+	}
+}
+
+// signU2Kernel applies a pure-sign diagonal pass and a 2x2 matrix on
+// qubit q in one traversal of pair ranks [lo, hi). Negation is exact, so
+// the result is bit-identical to running applySigns and u2Kernel in
+// sequence (in either order, per u2First) — the fused fast path for the
+// oracle's "CZ stage next to a 1Q layer" shape.
+func signU2Kernel(amp []complex128, bit, mask int, u [4]complex128, signs []uint64, u2First bool, lo, hi int) {
+	c := unpackU2(u)
+	for p := lo; p < hi; {
+		end := (p | mask) + 1
+		if end > hi {
+			end = hi
+		}
+		i := pairIndex(p, mask)
+		for ; p < end; p++ {
+			j := i + bit
+			sa := signs[i>>6]>>(uint(i)&63)&1 == 1
+			sb := signs[j>>6]>>(uint(j)&63)&1 == 1
+			a, b := amp[i], amp[j]
+			ar, ai := real(a), imag(a)
+			br, bi := real(b), imag(b)
+			if u2First {
+				nar := (c.u0r*ar - c.u0i*ai) + (c.u1r*br - c.u1i*bi)
+				nai := (c.u0r*ai + c.u0i*ar) + (c.u1r*bi + c.u1i*br)
+				nbr := (c.u2r*ar - c.u2i*ai) + (c.u3r*br - c.u3i*bi)
+				nbi := (c.u2r*ai + c.u2i*ar) + (c.u3r*bi + c.u3i*br)
+				if sa {
+					nar, nai = -nar, -nai
+				}
+				if sb {
+					nbr, nbi = -nbr, -nbi
+				}
+				amp[i] = complex(nar, nai)
+				amp[j] = complex(nbr, nbi)
+			} else {
+				if sa {
+					ar, ai = -ar, -ai
+				}
+				if sb {
+					br, bi = -br, -bi
+				}
+				amp[i] = complex((c.u0r*ar-c.u0i*ai)+(c.u1r*br-c.u1i*bi),
+					(c.u0r*ai+c.u0i*ar)+(c.u1r*bi+c.u1i*br))
+				amp[j] = complex((c.u2r*ar-c.u2i*ai)+(c.u3r*br-c.u3i*bi),
+					(c.u2r*ai+c.u2i*ar)+(c.u3r*bi+c.u3i*br))
+			}
+			i++
+		}
+	}
+}

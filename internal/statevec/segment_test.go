@@ -1,0 +1,262 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the segment executor (Plan/RunPlan, the path behind
+// State.Apply and Batch.Run) to ApplySequential — the op-by-op reference
+// semantics. Two contracts, mirroring the fusion contracts of program.go:
+//
+//   - sign-only folds (CZ/CZRun content, with or without a dense 1Q
+//     neighbor) and passthrough segments are bit-identical to sequential
+//     application;
+//   - rotation-bearing folds agree to 1e-12 per amplitude (phase
+//     products reassociate floating point, like 1Q fusion).
+
+// segTol is the per-amplitude tolerance for rotation-bearing folds.
+const segTol = 1e-12
+
+// within demands per-amplitude agreement to tol.
+func within(t *testing.T, label string, got, want *State, tol float64) {
+	t.Helper()
+	for i := range want.amp {
+		if d := cmplx.Abs(got.amp[i] - want.amp[i]); d > tol {
+			t.Fatalf("%s: amplitude %d differs by %g: %v vs %v",
+				label, i, d, got.amp[i], want.amp[i])
+		}
+	}
+}
+
+// randomSegProg draws a random program over the full planner alphabet:
+// dense 1Q (H/X/Y/U2), diagonal 1Q (Z/S/T/RZ), and CZ/CZRun — weighted
+// so diagonal runs and dense/diagonal neighbors occur often.
+func randomSegProg(rng *rand.Rand, n, gates int) []Op {
+	prog := make([]Op, 0, gates)
+	for i := 0; i < gates; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(10) {
+		case 0:
+			prog = append(prog, GateH(q))
+		case 1:
+			prog = append(prog, GateX(q))
+		case 2:
+			prog = append(prog, GateY(q))
+		case 3:
+			theta := rng.Float64() * 2 * math.Pi
+			u := [4]complex128{
+				complex(math.Cos(theta/2), 0), complex(0, -math.Sin(theta/2)),
+				complex(0, -math.Sin(theta/2)), complex(math.Cos(theta/2), 0),
+			}
+			prog = append(prog, Op{Kind: OpU2, Q: q, U: u})
+		case 4:
+			prog = append(prog, GateZ(q))
+		case 5:
+			prog = append(prog, GateS(q))
+		case 6:
+			prog = append(prog, GateT(q))
+		case 7:
+			prog = append(prog, GateRZ(q, rng.Float64()*2*math.Pi))
+		case 8:
+			if n < 2 {
+				prog = append(prog, GateS(q))
+				continue
+			}
+			pairs := make([][2]int, 1+rng.Intn(3))
+			for j := range pairs {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					b = (a + 1) % n
+				}
+				pairs[j] = [2]int{a, b}
+			}
+			prog = append(prog, Op{Kind: OpCZRun, Pairs: pairs})
+		default:
+			if n < 2 {
+				prog = append(prog, GateT(q))
+				continue
+			}
+			p := rng.Intn(n)
+			if p == q {
+				p = (q + 1) % n
+			}
+			prog = append(prog, GateCZ(q, p))
+		}
+	}
+	return prog
+}
+
+// TestSegmentMatchesSequential differentially tests the segment executor
+// against ApplySequential on random mixed programs across register sizes
+// 1..20 and several worker counts (the parallel threshold is lowered so
+// small registers exercise the goroutine path; under -race this also
+// audits the folded kernels' chunking). Gate counts shrink with n to
+// keep the -race budget sane.
+func TestSegmentMatchesSequential(t *testing.T) {
+	oldThreshold := parallelThreshold.Load()
+	defer func() { parallelThreshold.Store(oldThreshold); SetParallelism(0) }()
+	parallelThreshold.Store(4)
+
+	for _, workers := range []int{1, 2, 8} {
+		for n := 1; n <= 20; n++ {
+			gates := 60
+			switch {
+			case n > 16:
+				gates = 6
+			case n > 12:
+				gates = 16
+			}
+			if testing.Short() && n > 14 {
+				continue
+			}
+			SetParallelism(workers)
+			rng := rand.New(rand.NewSource(int64(1000*n + workers)))
+			prog := randomSegProg(rng, n, gates)
+			seg := NewRandom(n, rng)
+			ref := seg.Clone()
+			seg.Apply(prog)
+			ref.ApplySequential(prog)
+			within(t, fmt.Sprintf("workers=%d/n=%d", workers, n), seg, ref, segTol)
+		}
+	}
+}
+
+// TestDiagonalFoldingProperty is the folding analogue of the Fuse
+// property test: programs of nothing but diagonal ops collapse to a
+// single phase pass, which must agree with op-by-op application to
+// segTol on every amplitude of a random state.
+func TestDiagonalFoldingProperty(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		n := 2 + rng.Intn(9)
+		prog := make([]Op, 0, 24)
+		for len(prog) < 24 {
+			q := rng.Intn(n)
+			switch rng.Intn(5) {
+			case 0:
+				prog = append(prog, GateZ(q))
+			case 1:
+				prog = append(prog, GateS(q))
+			case 2:
+				prog = append(prog, GateT(q))
+			case 3:
+				prog = append(prog, GateRZ(q, rng.Float64()*2*math.Pi))
+			default:
+				p := rng.Intn(n)
+				if p == q {
+					p = (q + 1) % n
+				}
+				prog = append(prog, GateCZ(q, p))
+			}
+		}
+		plan := NewPlan(n, prog)
+		if plan.Sweeps() != 1 {
+			t.Fatalf("trial %d: all-diagonal program compiled to %d sweeps", trial, plan.Sweeps())
+		}
+		seg := NewRandom(n, rng)
+		ref := seg.Clone()
+		seg.RunPlan(plan)
+		ref.ApplySequential(prog)
+		within(t, fmt.Sprintf("trial=%d/n=%d", trial, n), seg, ref, segTol)
+	}
+}
+
+// TestSignOnlyFoldsBitIdentical pins the exactness half of the contract:
+// CZ/CZRun-only folds, their fusions with a dense neighbor that
+// sequential dispatch also routes through u2Kernel (OpY, OpU2), and
+// lone-op passthrough segments must match sequential application bit for
+// bit — negation is exact and passthrough reuses the dedicated kernels.
+// (An OpH/OpX neighbor is excluded: its sequential path is a dedicated
+// kernel, so its matrix-lowered fusion is tolerance-only.)
+func TestSignOnlyFoldsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 10
+	cz := func() Op {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			b = (a + 1) % n
+		}
+		return GateCZ(a, b)
+	}
+	cases := []struct {
+		name string
+		prog []Op
+	}{
+		{"diag-run", []Op{cz(), cz(), cz(), Op{Kind: OpCZRun, Pairs: [][2]int{{0, 3}, {2, 7}}}, cz()}},
+		{"leading-dense", []Op{GateY(4), cz(), cz(), Op{Kind: OpCZRun, Pairs: [][2]int{{1, 5}}}}},
+		{"leading-u2", []Op{{Kind: OpU2, Q: 6, U: [4]complex128{complex(0.6, 0), complex(0, 0.8), complex(0, 0.8), complex(0.6, 0)}}, cz(), cz()}},
+		{"trailing-dense", []Op{cz(), cz(), cz(), GateY(2)}},
+		{"lone-cz-passthrough", []Op{GateCZ(0, 1)}},
+		{"lone-rz-passthrough", []Op{GateRZ(3, 1.25)}},
+		{"dense-only", []Op{GateH(0), GateX(1), GateY(2), GateH(3)}},
+	}
+	for _, c := range cases {
+		seg := NewRandom(n, rng)
+		ref := seg.Clone()
+		seg.Apply(c.prog)
+		ref.ApplySequential(c.prog)
+		identical(t, c.name, seg, ref)
+	}
+}
+
+// TestPlanStructure pins the planner's folding rules: what merges, what
+// passes through, and the sweep/passes-saved accounting the verify
+// oracle reports.
+func TestPlanStructure(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   []Op
+		sweeps int
+		kinds  []segKind
+	}{
+		{"empty", nil, 0, nil},
+		{"lone-diag-passthrough", []Op{GateCZ(0, 1)}, 1, []segKind{segOp}},
+		{"diag-run-folds", []Op{GateZ(0), GateS(1), GateCZ(0, 1), GateT(2)}, 1, []segKind{segDiag}},
+		{"leading-dense-fuses", []Op{GateH(0), GateCZ(0, 1), GateCZ(1, 2)}, 1, []segKind{segDiagU2}},
+		{"trailing-dense-fuses", []Op{GateCZ(0, 1), GateRZ(1, 0.5), GateX(2)}, 1, []segKind{segDiagU2}},
+		{"sandwich-splits", []Op{GateH(0), GateCZ(0, 1), GateCZ(1, 2), GateH(0)}, 2, []segKind{segDiagU2, segOp}},
+		{"dense-dense-no-fold", []Op{GateH(0), GateH(0)}, 2, []segKind{segOp, segOp}},
+		{"lone-dense-diag-pair", []Op{GateY(1), GateT(1)}, 1, []segKind{segDiagU2}},
+	}
+	for _, c := range cases {
+		p := NewPlan(4, c.prog)
+		if p.Sweeps() != c.sweeps {
+			t.Errorf("%s: sweeps = %d, want %d", c.name, p.Sweeps(), c.sweeps)
+		}
+		if p.Ops() != len(c.prog) {
+			t.Errorf("%s: ops = %d, want %d", c.name, p.Ops(), len(c.prog))
+		}
+		if saved := p.PassesSaved(); saved != len(c.prog)-c.sweeps {
+			t.Errorf("%s: passes saved = %d, want %d", c.name, saved, len(c.prog)-c.sweeps)
+		}
+		if len(p.segs) != len(c.kinds) {
+			t.Errorf("%s: %d segments, want %d", c.name, len(p.segs), len(c.kinds))
+			continue
+		}
+		for i, k := range c.kinds {
+			if p.segs[i].kind != k {
+				t.Errorf("%s: segment %d kind = %d, want %d", c.name, i, p.segs[i].kind, k)
+			}
+		}
+	}
+	if u2 := NewPlan(4, []Op{GateH(0), GateCZ(0, 1), GateCZ(1, 2)}).segs[0]; !u2.u2First {
+		t.Errorf("leading dense op should set u2First")
+	}
+	if u2 := NewPlan(4, []Op{GateCZ(0, 1), GateCZ(1, 2), GateH(0)}).segs[0]; u2.u2First {
+		t.Errorf("trailing dense op should clear u2First")
+	}
+}
+
+// TestKernelISAReported logs which kernel dispatch path this build uses —
+// the CI bench job greps the output to record whether the GOAMD64=v3
+// variants or the portable fallback ran.
+func TestKernelISAReported(t *testing.T) {
+	if KernelISA == "" {
+		t.Fatal("KernelISA is empty")
+	}
+	t.Logf("kernel dispatch path: %s", KernelISA)
+}

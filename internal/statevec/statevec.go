@@ -114,8 +114,9 @@ func NewZero(n int) *State {
 	return &State{n: n, amp: amp}
 }
 
-// NewRandom returns a Haar-ish random product-free state: amplitudes drawn
-// from independent Gaussians and normalized. Random states make unitary
+// NewRandom returns a random product-free state: amplitudes with
+// independent uniform real and imaginary parts, normalized. Every
+// amplitude is nonzero almost surely, which is what makes unitary
 // comparisons sensitive to any gate discrepancy.
 func NewRandom(n int, rng *rand.Rand) *State {
 	s := NewZero(n)
@@ -123,20 +124,38 @@ func NewRandom(n int, rng *rand.Rand) *State {
 	return s
 }
 
-// Randomize overwrites the state with NewRandom's distribution, drawing
-// from rng in the same order, so filling a Batch slot through a view
+// Randomize overwrites the state with NewRandom's distribution. It draws
+// exactly one value from rng — the seed of an inline splitmix64 stream
+// that generates the amplitudes — so filling a Batch slot through a view
 // produces amplitudes bit-identical to a standalone NewRandom under the
-// same seed.
+// same seed. The oracle fills two fresh states per equivalence check,
+// which made the previous per-amplitude Gaussian draw (two ziggurat
+// samples behind a rand.Rand call each) the single largest cost of a
+// verification sweep; the inlined generator is pure integer arithmetic.
 func (s *State) Randomize(rng *rand.Rand) {
+	x := uint64(rng.Int63())
 	norm := 0.0
 	for i := range s.amp {
-		re, im := rng.NormFloat64(), rng.NormFloat64()
+		// splitmix64: a full-period 2^64 stream with strong avalanche —
+		// more than enough independence for test-state generation.
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		z ^= z >> 31
+		re := float64(int32(z)) * 0x1p-31     // the two 32-bit halves give
+		im := float64(int32(z>>32)) * 0x1p-31 // independent uniforms in [-1, 1)
 		s.amp[i] = complex(re, im)
 		norm += re*re + im*im
 	}
-	scale := complex(1/math.Sqrt(norm), 0)
+	if norm == 0 {
+		s.amp[0] = 1
+		return
+	}
+	scale := 1 / math.Sqrt(norm)
 	for i := range s.amp {
-		s.amp[i] *= scale
+		a := s.amp[i]
+		s.amp[i] = complex(scale*real(a), scale*imag(a))
 	}
 }
 
@@ -174,15 +193,35 @@ func (s *State) Probability(idx int) float64 {
 // fidelity comparisons rely on.
 const reduceChunk = 1 << 13
 
+// norm2Range sums |a|^2 over one reduction chunk with four independent
+// accumulator lanes, merged in a fixed order: element i feeds lane i%4
+// (tails feed lane 0), and the lanes combine as ((s0+s1)+s2)+s3. The
+// lane structure breaks the serial one-accumulator dependency chain —
+// each float64 add no longer waits on the previous one — and, being a
+// pure function of the chunk contents, keeps the reduction bit-identical
+// across worker counts.
+func norm2Range(amp []complex128) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(amp); i += 4 {
+		a0, a1, a2, a3 := amp[i], amp[i+1], amp[i+2], amp[i+3]
+		s0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+		s1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+		s2 += real(a2)*real(a2) + imag(a2)*imag(a2)
+		s3 += real(a3)*real(a3) + imag(a3)*imag(a3)
+	}
+	for ; i < len(amp); i++ {
+		a := amp[i]
+		s0 += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
 // Norm returns the 2-norm of the state (1 for any valid state).
 func (s *State) Norm() float64 {
 	amp := s.amp
 	if len(amp) <= reduceChunk {
-		total := 0.0
-		for _, a := range amp {
-			total += real(a)*real(a) + imag(a)*imag(a)
-		}
-		return math.Sqrt(total)
+		return math.Sqrt(norm2Range(amp))
 	}
 	chunks := (len(amp) + reduceChunk - 1) / reduceChunk
 	partials := make([]float64, chunks)
@@ -192,11 +231,7 @@ func (s *State) Norm() float64 {
 			if end > len(amp) {
 				end = len(amp)
 			}
-			sum := 0.0
-			for _, a := range amp[c*reduceChunk : end] {
-				sum += real(a)*real(a) + imag(a)*imag(a)
-			}
-			partials[c] = sum
+			partials[c] = norm2Range(amp[c*reduceChunk : end])
 		}
 	})
 	total := 0.0
@@ -227,97 +262,14 @@ func pairIndex(p, mask int) int {
 	return ((p &^ mask) << 1) | (p & mask)
 }
 
-// The rank-range kernels below are the shared inner loops of State and
-// Batch: each walks pair ranks [lo, hi) of one state's amplitude slice.
-// They are element-wise on disjoint index sets, so any tiling of the
-// rank space — per-state, per-block, or across a whole batch — produces
-// bit-identical amplitudes.
-
-// hKernel applies a Hadamard over pair ranks [lo, hi); bit = 1<<q,
-// mask = bit-1.
-func hKernel(amp []complex128, bit, mask, lo, hi int) {
-	inv := complex(1/math.Sqrt2, 0)
-	for p := lo; p < hi; {
-		end := (p | mask) + 1
-		if end > hi {
-			end = hi
-		}
-		i := pairIndex(p, mask)
-		for ; p < end; p++ {
-			a, b := amp[i], amp[i+bit]
-			amp[i] = inv * (a + b)
-			amp[i+bit] = inv * (a - b)
-			i++
-		}
-	}
-}
-
-// xKernel applies a Pauli-X over pair ranks [lo, hi).
-func xKernel(amp []complex128, bit, mask, lo, hi int) {
-	for p := lo; p < hi; {
-		end := (p | mask) + 1
-		if end > hi {
-			end = hi
-		}
-		i := pairIndex(p, mask)
-		for ; p < end; p++ {
-			amp[i], amp[i+bit] = amp[i+bit], amp[i]
-			i++
-		}
-	}
-}
-
-// rzKernel multiplies the bit-set half of each pair by phase over pair
-// ranks [lo, hi).
-func rzKernel(amp []complex128, bit, mask int, phase complex128, lo, hi int) {
-	for p := lo; p < hi; {
-		end := (p | mask) + 1
-		if end > hi {
-			end = hi
-		}
-		i := pairIndex(p, mask) + bit
-		for ; p < end; p++ {
-			amp[i] *= phase
-			i++
-		}
-	}
-}
-
-// czKernel negates amplitudes with both bits set over quad ranks
-// [lo, hi); loBit < hiBit, masks are bit-1.
-func czKernel(amp []complex128, loBit, hiBit, loMask, hiMask, lo, hi int) {
-	for p := lo; p < hi; {
-		end := (p | loMask) + 1
-		if end > hi {
-			end = hi
-		}
-		i := pairIndex(p, loMask)
-		i = pairIndex(i, hiMask) | loBit | hiBit
-		for ; p < end; p++ {
-			amp[i] = -amp[i]
-			i++
-		}
-	}
-}
-
-// u2Kernel applies the 2x2 matrix u (row-major) to each (i, i+bit) pair
-// over pair ranks [lo, hi) — the fused form of a run of single-qubit
-// gates.
-func u2Kernel(amp []complex128, bit, mask int, u [4]complex128, lo, hi int) {
-	for p := lo; p < hi; {
-		end := (p | mask) + 1
-		if end > hi {
-			end = hi
-		}
-		i := pairIndex(p, mask)
-		for ; p < end; p++ {
-			a, b := amp[i], amp[i+bit]
-			amp[i] = u[0]*a + u[1]*b
-			amp[i+bit] = u[2]*a + u[3]*b
-			i++
-		}
-	}
-}
+// The rank-range kernels (hKernel/xKernel/rzKernel/czKernel/u2Kernel)
+// are the shared inner loops of State and Batch: each walks pair ranks
+// [lo, hi) of one state's amplitude slice. They are element-wise on
+// disjoint index sets, so any tiling of the rank space — per-state,
+// per-block, or across a whole batch — produces bit-identical
+// amplitudes. Their bodies live in the build-tagged kernel driver files
+// (kernels_portable.go by default, kernels_amd64v3.go under GOAMD64=v3)
+// over the shared unrolled blocks of kernels.go.
 
 // H applies a Hadamard to qubit q.
 func (s *State) H(q int) { s.h(q, 0) }
@@ -409,6 +361,34 @@ func (s *State) CX(c, t int) {
 	s.H(t)
 }
 
+// dotRange sums conj(sa[i])*oa[i] over one reduction chunk with the same
+// four-lane fixed-merge structure as norm2Range, in explicit real/imag
+// arithmetic (conj(a)*b has re = ar*br + ai*bi, im = ar*bi - ai*br).
+func dotRange(sa, oa []complex128) complex128 {
+	var r0, r1, r2, r3, m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= len(sa); i += 4 {
+		a0, b0 := sa[i], oa[i]
+		a1, b1 := sa[i+1], oa[i+1]
+		a2, b2 := sa[i+2], oa[i+2]
+		a3, b3 := sa[i+3], oa[i+3]
+		r0 += real(a0)*real(b0) + imag(a0)*imag(b0)
+		m0 += real(a0)*imag(b0) - imag(a0)*real(b0)
+		r1 += real(a1)*real(b1) + imag(a1)*imag(b1)
+		m1 += real(a1)*imag(b1) - imag(a1)*real(b1)
+		r2 += real(a2)*real(b2) + imag(a2)*imag(b2)
+		m2 += real(a2)*imag(b2) - imag(a2)*real(b2)
+		r3 += real(a3)*real(b3) + imag(a3)*imag(b3)
+		m3 += real(a3)*imag(b3) - imag(a3)*real(b3)
+	}
+	for ; i < len(sa); i++ {
+		a, b := sa[i], oa[i]
+		r0 += real(a)*real(b) + imag(a)*imag(b)
+		m0 += real(a)*imag(b) - imag(a)*real(b)
+	}
+	return complex(((r0+r1)+r2)+r3, ((m0+m1)+m2)+m3)
+}
+
 // InnerProduct returns <s|o>, accumulated over the fixed reduceChunk
 // grain so the result is identical for every parallelism setting.
 // It panics on register-size mismatch.
@@ -418,11 +398,7 @@ func (s *State) InnerProduct(o *State) complex128 {
 	}
 	sa, oa := s.amp, o.amp
 	if len(sa) <= reduceChunk {
-		var total complex128
-		for i := range sa {
-			total += cmplx.Conj(sa[i]) * oa[i]
-		}
-		return total
+		return dotRange(sa, oa)
 	}
 	chunks := (len(sa) + reduceChunk - 1) / reduceChunk
 	partials := make([]complex128, chunks)
@@ -432,11 +408,7 @@ func (s *State) InnerProduct(o *State) complex128 {
 			if end > len(sa) {
 				end = len(sa)
 			}
-			var sum complex128
-			for i := c * reduceChunk; i < end; i++ {
-				sum += cmplx.Conj(sa[i]) * oa[i]
-			}
-			partials[c] = sum
+			partials[c] = dotRange(sa[c*reduceChunk:end], oa[c*reduceChunk:end])
 		}
 	})
 	var total complex128
@@ -454,13 +426,19 @@ func (s *State) Fidelity(o *State) float64 {
 
 // Equal reports whether the states coincide up to tolerance tol in the
 // max-norm of the amplitude difference (global phase NOT factored out;
-// the gate set here is deterministic about phases).
+// the gate set here is deterministic about phases). The comparison is
+// |d|^2 <= tol^2 — same verdict as a hypot-based |d| <= tol on every
+// finite input (squaring is monotone; amplitudes are bounded by 1, so
+// the square cannot overflow) without the library call per amplitude —
+// and treats NaN amplitudes as unequal.
 func (s *State) Equal(o *State, tol float64) bool {
 	if s.n != o.n {
 		return false
 	}
+	t2 := tol * tol
 	for i := range s.amp {
-		if cmplx.Abs(s.amp[i]-o.amp[i]) > tol {
+		d := s.amp[i] - o.amp[i]
+		if !(real(d)*real(d)+imag(d)*imag(d) <= t2) {
 			return false
 		}
 	}

@@ -114,12 +114,15 @@ func AllBatch(items []Item, opts BatchOptions) ([]*Report, OracleStats) {
 				}(w)
 			}
 			wg.Wait()
-			progs := make([][]statevec.Op, 2*len(chunk))
+			// Each case's programs were compiled once at construction; the
+			// plans are read-only, so interleaving shares them with the
+			// standalone path (run) and across chunks.
+			plans := make([]*statevec.Plan, 2*len(chunk))
 			for j, p := range chunk {
-				progs[2*j] = p.c.src
-				progs[2*j+1] = p.c.cmp
+				plans[2*j] = p.c.srcPlan
+				plans[2*j+1] = p.c.cmpPlan
 			}
-			b.Run(progs)
+			b.RunPlans(plans)
 			for j, p := range chunk {
 				compareOracle(reports[p.idx], b.State(2*j), b.State(2*j+1))
 				st := p.c.stats()

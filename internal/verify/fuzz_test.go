@@ -118,9 +118,17 @@ func FuzzCompileVerify(f *testing.F) {
 		}
 		if r.Oracle != nil {
 			if rb.Oracle.States != r.Oracle.States || rb.Oracle.Amps != r.Oracle.Amps ||
-				rb.Oracle.GatesIn != r.Oracle.GatesIn || rb.Oracle.GatesApplied != r.Oracle.GatesApplied {
+				rb.Oracle.GatesIn != r.Oracle.GatesIn || rb.Oracle.GatesApplied != r.Oracle.GatesApplied ||
+				rb.Oracle.SweepPassesSaved != r.Oracle.SweepPassesSaved {
 				t.Fatalf("oracle accounting differs: batched %+v, per-item %+v", rb.Oracle, r.Oracle)
 			}
+		}
+		// The segmented oracle must agree with the pre-fusion gate-by-gate
+		// reference on the verdict: folding reorders only exact sign flips
+		// here, so any disagreement is a segment-executor bug.
+		if legacy := legacyVerify(Item{Circ: circ, Prog: res.Program, Initial: res.Initial}); legacy.OK() != r.OK() {
+			t.Fatalf("legacy oracle verdict %v, segmented %v:\nlegacy: %s\nsegmented: %s",
+				legacy.OK(), r.OK(), legacy, r)
 		}
 		if !r.OK() {
 			t.Fatalf("compile %s (%d AODs) produced an illegal or inequivalent program:\n%s",

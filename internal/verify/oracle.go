@@ -58,6 +58,10 @@ type OracleStats struct {
 	// GatesApplied is the operation count actually executed after it.
 	GatesIn      int64 `json:"gates_in"`
 	GatesApplied int64 `json:"gates_applied"`
+	// SweepPassesSaved counts the state traversals the segment executor
+	// folded away on top of fusion: ops minus sweeps, summed over both
+	// programs of every case (statevec.Plan.PassesSaved).
+	SweepPassesSaved int64 `json:"sweep_passes_saved"`
 	// ElapsedNS is the wall-clock oracle time. In-process consumers
 	// (the service ledger) read it; serialized artifacts must not.
 	ElapsedNS int64 `json:"-"`
@@ -75,6 +79,7 @@ func (s *OracleStats) accumulate(o *OracleStats) {
 	s.Amps += o.Amps
 	s.GatesIn += o.GatesIn
 	s.GatesApplied += o.GatesApplied
+	s.SweepPassesSaved += o.SweepPassesSaved
 	s.ElapsedNS += o.ElapsedNS
 }
 
@@ -119,13 +124,15 @@ func checkEquivalenceStructural(r *Report, circ *circuit.Circuit, prog *isa.Prog
 }
 
 // oracleCase is one deferred state-vector comparison: the fused source
-// and compiled gate programs plus the seed of the shared random start
-// state. Cases are what AllBatch groups into shared Batch runs.
+// and compiled gate programs (each compiled once by the segment planner)
+// plus the seed of the shared random start state. Cases are what
+// AllBatch groups into shared Batch runs.
 type oracleCase struct {
-	n        int
-	seed     int64
-	src, cmp []statevec.Op
-	gatesIn  int64
+	n                int
+	seed             int64
+	src, cmp         []statevec.Op
+	srcPlan, cmpPlan *statevec.Plan
+	gatesIn          int64
 }
 
 // newOracleCase lowers both gate streams to fused statevec programs.
@@ -163,6 +170,8 @@ func newOracleCase(circ *circuit.Circuit, prog *isa.Program) *oracleCase {
 		cmp:     statevec.Fuse(cmp),
 		gatesIn: int64(len(src) + len(cmp)),
 	}
+	c.srcPlan = statevec.NewPlan(c.n, c.src)
+	c.cmpPlan = statevec.NewPlan(c.n, c.cmp)
 	return c
 }
 
@@ -175,8 +184,8 @@ func (c *oracleCase) run() (ref, got *statevec.State) {
 	rng := rand.New(rand.NewSource(c.seed))
 	ref = statevec.NewRandom(c.n, rng)
 	got = ref.Clone()
-	ref.Apply(c.src)
-	got.Apply(c.cmp)
+	ref.RunPlan(c.srcPlan)
+	got.RunPlan(c.cmpPlan)
 	return ref, got
 }
 
@@ -184,10 +193,11 @@ func (c *oracleCase) run() (ref, got *statevec.State) {
 // the runner owns the clock).
 func (c *oracleCase) stats() *OracleStats {
 	return &OracleStats{
-		States:       2,
-		Amps:         2 << uint(c.n),
-		GatesIn:      c.gatesIn,
-		GatesApplied: int64(len(c.src) + len(c.cmp)),
+		States:           2,
+		Amps:             2 << uint(c.n),
+		GatesIn:          c.gatesIn,
+		GatesApplied:     int64(len(c.src) + len(c.cmp)),
+		SweepPassesSaved: int64(c.srcPlan.PassesSaved() + c.cmpPlan.PassesSaved()),
 	}
 }
 
