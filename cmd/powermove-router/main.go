@@ -1,0 +1,133 @@
+// Command powermove-router is the fleet tier: a consistent-hash
+// router over N powermoved backends. It maps every request's canonical
+// compile key onto one backend so identical compiles always land on
+// the daemon whose LRU/snapshot caches and disk store already hold
+// them, fails over to the next replica in ring order when a backend
+// dies, and aggregates the fleet's metrics.
+//
+//	powermove-router -backend b1=http://127.0.0.1:8077 -backend b2=http://127.0.0.1:8078
+//	powermove-router -addr :8070 -vnodes 128 -health-interval 2s
+//
+// Backends should run with matching -backend-id flags (the health
+// checker verifies identity) and, for restart-durable results, a
+// shared -store-dir.
+//
+// Endpoints:
+//
+//	/v1/*         proxied by routing key, with next-replica failover
+//	GET /v1/jobs  merged across the fleet (jobs pin to their daemon)
+//	GET /healthz  router liveness + per-backend verdicts
+//	GET /metrics  routed/retried/failover counters, per-backend
+//	              latency, and fleet-wide cache/queue totals
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"powermove/internal/fleet"
+)
+
+// backendFlags collects repeated -backend name=url values.
+type backendFlags []fleet.Backend
+
+func (b *backendFlags) String() string {
+	names := make([]string, len(*b))
+	for i, be := range *b {
+		names[i] = be.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func (b *backendFlags) Set(v string) error {
+	name, raw, ok := strings.Cut(v, "=")
+	if !ok || name == "" || raw == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", name, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("backend %s: URL %q needs an http(s) scheme", name, raw)
+	}
+	*b = append(*b, fleet.Backend{Name: name, URL: u})
+	return nil
+}
+
+func main() {
+	var backends backendFlags
+	var (
+		addr           = flag.String("addr", ":8070", "listen address")
+		vnodes         = flag.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per backend on the hash ring")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "active health-probe period for healthy backends")
+		probeTimeout   = flag.Duration("probe-timeout", time.Second, "health-probe timeout")
+		maxBackoff     = flag.Duration("max-backoff", 30*time.Second, "probe backoff cap for failed backends")
+	)
+	flag.Var(&backends, "backend", "backend as name=url; repeat per instance (name must match its -backend-id)")
+	flag.Parse()
+
+	if len(backends) == 0 {
+		fail(errors.New("no backends; pass -backend name=url at least once"))
+	}
+	router, err := fleet.NewRouter(fleet.Config{
+		Backends:       backends,
+		VNodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		ProbeTimeout:   *probeTimeout,
+		MaxBackoff:     *maxBackoff,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer router.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	log.Printf("powermove-router: serving on %s over backends %s (%d vnodes each)",
+		*addr, strings.Join(names, ", "), *vnodes)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("powermove-router: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fail(err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powermove-router:", err)
+	os.Exit(1)
+}

@@ -38,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8077", "listen address")
+		backendID  = flag.String("backend-id", "", `fleet identity of this daemon (labels /metrics and prefixes job ids for powermove-router); no "." allowed`)
 		workers    = flag.Int("workers", 0, "max concurrent compiles (<1 selects GOMAXPROCS)")
 		cacheSize  = flag.Int("cache-size", 4096, "compile-cache capacity in outcomes (0 = unbounded)")
 		queueDepth = flag.Int("queue-depth", 256, "async job queue depth; submissions beyond it shed with 429 (<1 selects 256)")
@@ -60,7 +62,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if strings.Contains(*backendID, ".") {
+		fail(fmt.Errorf("-backend-id %q must not contain %q (the job-id separator)", *backendID, "."))
+	}
 	cfg := powermove.ServerConfig{
+		Instance:    *backendID,
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		QueueDepth:  *queueDepth,

@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// memberHealth is one backend's view in the checker.
+type memberHealth struct {
+	url     string // base URL, no trailing slash
+	healthy bool
+	fails   int       // consecutive failed probes
+	next    time.Time // earliest next probe (backoff schedule)
+	lastErr string    // most recent probe or proxy error, for /metrics
+}
+
+// Checker actively probes each backend's GET /healthz and keeps a
+// healthy/down verdict the router consults before proxying. Two
+// signals feed it:
+//
+//   - active probes every Interval for healthy members; failed members
+//     back off exponentially (Interval << fails, capped at MaxBackoff)
+//     so a dead backend costs a bounded probe rate, not a hot loop;
+//   - passive mark-downs from the router (MarkDown) when a proxied
+//     request hits a transport error — the fleet reacts to a crash at
+//     request speed instead of waiting out a probe interval.
+//
+// A single successful probe restores a member, zeroing its backoff.
+type Checker struct {
+	interval   time.Duration
+	maxBackoff time.Duration
+	client     *http.Client
+	onChange   func(member string, healthy bool) // optional, called outside mu
+
+	mu      sync.Mutex
+	members map[string]*memberHealth
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewChecker builds a checker over member name → base URL. Members
+// start healthy (optimistic — the first probe round corrects this
+// within interval) so a fresh router serves immediately. interval <= 0
+// defaults to 2s; probeTimeout <= 0 to 1s; maxBackoff <= 0 to 30s.
+func NewChecker(members map[string]string, interval, probeTimeout, maxBackoff time.Duration) *Checker {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if probeTimeout <= 0 {
+		probeTimeout = time.Second
+	}
+	if maxBackoff <= 0 {
+		maxBackoff = 30 * time.Second
+	}
+	c := &Checker{
+		interval:   interval,
+		maxBackoff: maxBackoff,
+		client:     &http.Client{Timeout: probeTimeout},
+		members:    make(map[string]*memberHealth, len(members)),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for name, url := range members {
+		c.members[name] = &memberHealth{url: url, healthy: true}
+	}
+	return c
+}
+
+// Start launches the probe loop. Stop with Stop.
+func (c *Checker) Start() {
+	go c.loop()
+}
+
+// Stop halts the probe loop and waits for it to exit.
+func (c *Checker) Stop() {
+	close(c.stop)
+	<-c.done
+}
+
+// Healthy reports the current verdict for member; unknown members are
+// unhealthy.
+func (c *Checker) Healthy(member string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[member]
+	return ok && m.healthy
+}
+
+// MarkDown records a passive failure observed by the router. The next
+// active probe is scheduled with the same bounded backoff as a failed
+// probe; recovery is via probe only, so one flaky request doesn't
+// flap the member back and forth.
+func (c *Checker) MarkDown(member string, err error) {
+	c.mu.Lock()
+	m, ok := c.members[member]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	wasHealthy := m.healthy
+	m.healthy = false
+	m.fails++
+	m.lastErr = err.Error()
+	m.next = time.Now().Add(c.backoff(m.fails))
+	c.mu.Unlock()
+	if wasHealthy && c.onChange != nil {
+		c.onChange(member, false)
+	}
+}
+
+// Status is one member's checker view, exposed on the router's
+// /metrics.
+type Status struct {
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFails counts failed probes/proxies since the last
+	// success; it also indexes the backoff schedule.
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// Snapshot returns every member's current status.
+func (c *Checker) Snapshot() map[string]Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Status, len(c.members))
+	for name, m := range c.members {
+		out[name] = Status{Healthy: m.healthy, ConsecutiveFails: m.fails, LastError: m.lastErr}
+	}
+	return out
+}
+
+func (c *Checker) loop() {
+	defer close(c.done)
+	// Tick at a fraction of the interval so backoff deadlines are
+	// honored promptly without busy-waiting.
+	tick := c.interval / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	c.probeDue() // immediate first round
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeDue()
+		}
+	}
+}
+
+// probeDue probes every member whose schedule has come due, outside
+// the lock (probes block up to the client timeout).
+func (c *Checker) probeDue() {
+	now := time.Now()
+	type target struct{ name, url string }
+	var due []target
+	c.mu.Lock()
+	for name, m := range c.members {
+		if !now.Before(m.next) {
+			due = append(due, target{name, m.url})
+		}
+	}
+	c.mu.Unlock()
+	for _, tg := range due {
+		err := c.probe(tg.name, tg.url)
+		c.record(tg.name, err)
+	}
+}
+
+// probe hits GET /healthz and checks both liveness and identity: a
+// backend started with -backend-id reports it as "instance", and a
+// mismatch (two daemons swapped ports, say) counts as unhealthy —
+// routing keys would otherwise land on the wrong cache silently.
+func (c *Checker) probe(name, url string) error {
+	resp, err := c.client.Get(url + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Status   string `json:"status"`
+		Instance string `json:"instance"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if doc.Status != "ok" {
+		return fmt.Errorf("healthz: status %q", doc.Status)
+	}
+	if doc.Instance != "" && doc.Instance != name {
+		return fmt.Errorf("healthz: backend identifies as %q, configured as %q", doc.Instance, name)
+	}
+	return nil
+}
+
+func (c *Checker) record(name string, probeErr error) {
+	c.mu.Lock()
+	m, ok := c.members[name]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	var flipped bool
+	var nowHealthy bool
+	if probeErr == nil {
+		flipped = !m.healthy
+		nowHealthy = true
+		m.healthy = true
+		m.fails = 0
+		m.lastErr = ""
+		m.next = time.Now().Add(c.interval)
+	} else {
+		flipped = m.healthy
+		m.healthy = false
+		m.fails++
+		m.lastErr = probeErr.Error()
+		m.next = time.Now().Add(c.backoff(m.fails))
+	}
+	c.mu.Unlock()
+	if flipped && c.onChange != nil {
+		c.onChange(name, nowHealthy)
+	}
+}
+
+// backoff returns the probe delay after fails consecutive failures:
+// interval doubled per failure, capped at maxBackoff.
+func (c *Checker) backoff(fails int) time.Duration {
+	d := c.interval
+	for i := 1; i < fails && d < c.maxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	return d
+}

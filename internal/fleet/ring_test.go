@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("workload=QFT/q=%d/scheme=serial/aods=%d", 4+i%28, 1+i%4)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"b1", "b2", "b3"}
+	a := NewRing(members, 64)
+	b := NewRing([]string{"b3", "b1", "b2", "b2"}, 64) // order and dups must not matter
+	for _, k := range ringKeys(200) {
+		if got, want := b.Pick(k), a.Pick(k); got != want {
+			t.Fatalf("Pick(%q) differs across identical rings: %q vs %q", k, got, want)
+		}
+	}
+	if !reflect.DeepEqual(a.Members(), []string{"b1", "b2", "b3"}) {
+		t.Fatalf("Members() = %v", a.Members())
+	}
+}
+
+// TestRingStability is the consistent-hashing contract: removing one
+// member reassigns only that member's keys, and adding one steals keys
+// only for itself. Everything else keeps its backend — and so its
+// warm caches.
+func TestRingStability(t *testing.T) {
+	keys := ringKeys(1000)
+	before := NewRing([]string{"b1", "b2", "b3", "b4"}, 0)
+	after := NewRing([]string{"b1", "b2", "b4"}, 0) // b3 removed
+
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Pick(k), after.Pick(k)
+		if was != "b3" && was != is {
+			t.Fatalf("key %q moved %q → %q though neither is the removed member", k, was, is)
+		}
+		if was == "b3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed member; distribution is broken")
+	}
+
+	grown := NewRing([]string{"b1", "b2", "b3", "b4", "b5"}, 0)
+	for _, k := range keys {
+		was, is := before.Pick(k), grown.Pick(k)
+		if is != was && is != "b5" {
+			t.Fatalf("key %q moved %q → %q though the only change was adding b5", k, was, is)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"b1", "b2", "b3", "b4"}, 0)
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Pick(k)]++
+	}
+	for m, n := range counts {
+		if frac := float64(n) / float64(len(keys)); frac < 0.10 {
+			t.Errorf("member %s owns %.1f%% of keys; want ≥ 10%%", m, 100*frac)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members own keys", len(counts))
+	}
+}
+
+// TestSequence checks the failover order: distinct members starting at
+// the key's owner, and — the property failover correctness leans on —
+// removing an unrelated member leaves the relative order of the rest
+// intact (their ring points don't move).
+func TestSequence(t *testing.T) {
+	r := NewRing([]string{"b1", "b2", "b3", "b4"}, 0)
+	for _, k := range ringKeys(100) {
+		seq := r.Sequence(k)
+		if len(seq) != 4 {
+			t.Fatalf("Sequence(%q) = %v; want 4 distinct members", k, seq)
+		}
+		if seq[0] != r.Pick(k) {
+			t.Fatalf("Sequence(%q)[0] = %q; Pick = %q", k, seq[0], r.Pick(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %q", k, m)
+			}
+			seen[m] = true
+		}
+	}
+
+	shrunk := NewRing([]string{"b1", "b2", "b4"}, 0)
+	for _, k := range ringKeys(100) {
+		var want []string
+		for _, m := range r.Sequence(k) {
+			if m != "b3" {
+				want = append(want, m)
+			}
+		}
+		if got := shrunk.Sequence(k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Sequence(%q) after removing b3 = %v; want %v (order preserved)", k, got, want)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Pick("k"); got != "" {
+		t.Fatalf("empty ring Pick = %q", got)
+	}
+	if got := r.Sequence("k"); got != nil {
+		t.Fatalf("empty ring Sequence = %v", got)
+	}
+}

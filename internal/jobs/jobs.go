@@ -144,6 +144,11 @@ type Config struct {
 	// CodeOf maps a Runner error to a stable machine-readable code for
 	// the job's Error; nil maps everything to "internal".
 	CodeOf func(error) string
+	// IDPrefix, when non-empty, prefixes every job id as "<prefix>.jNN-..."
+	// — the backend-identity half of fleet routing: a router in front of
+	// N daemons recovers which backend owns a job from the id alone, so
+	// polling a job needs no router-side state. Must not contain ".".
+	IDPrefix string
 	// Speculate, when set, is the idle-slot policy: a worker that finds
 	// the queue empty offers its slot to this hook before blocking. The
 	// hook performs at most one unit of opportunistic work (the service
@@ -181,6 +186,16 @@ type Histogram struct {
 	TotalMS  float64   `json:"total_ms"`
 }
 
+// NewHistogram returns an empty histogram over the package's standard
+// latency buckets, for consumers (the fleet router's per-backend
+// latency metrics) that want buckets comparable with the queue's.
+func NewHistogram() Histogram {
+	return Histogram{BucketMS: latencyBucketsMS, Counts: make([]int64, len(latencyBucketsMS)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.observe(d) }
+
 func (h *Histogram) observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	i := 0
@@ -190,6 +205,38 @@ func (h *Histogram) observe(d time.Duration) {
 	h.Counts[i]++
 	h.Count++
 	h.TotalMS += ms
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed values
+// in milliseconds: the upper bound of the bucket holding the q-th
+// observation. A quantile landing in the overflow bucket has no upper
+// bound to report, so it answers twice the last finite bound or the
+// observed mean, whichever is larger (a queue draining far beyond the
+// bucket range is better described by its mean than by a fixed bound).
+// Returns 0 while the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.BucketMS) == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.BucketMS) {
+				return h.BucketMS[i]
+			}
+			break
+		}
+	}
+	over := 2 * h.BucketMS[len(h.BucketMS)-1]
+	if mean := h.TotalMS / float64(h.Count); mean > over {
+		return mean
+	}
+	return over
 }
 
 // Metrics is the /metrics view of the subsystem: cumulative per-state
@@ -383,8 +430,12 @@ func (m *Manager) newJobLocked(spec Spec) *job {
 	m.seq++
 	var nonce [4]byte
 	rand.Read(nonce[:])
+	id := fmt.Sprintf("j%06x-%s", m.seq, hex.EncodeToString(nonce[:]))
+	if m.cfg.IDPrefix != "" {
+		id = m.cfg.IDPrefix + "." + id
+	}
 	j := &job{
-		id:          fmt.Sprintf("j%06x-%s", m.seq, hex.EncodeToString(nonce[:])),
+		id:          id,
 		seq:         m.seq,
 		kind:        spec.Kind,
 		key:         spec.Key,
@@ -755,6 +806,36 @@ func (m *Manager) Metrics() Metrics {
 
 // TTL returns the configured retention window.
 func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
+
+// The Retry-After hint's clamp: never tell a shed client to come back
+// sooner than a second or later than half a minute.
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = 30 * time.Second
+)
+
+// RetryAfter estimates how long a shed submission should wait before
+// retrying: the live queue-latency histogram's p50 — how long a freshly
+// admitted job has been waiting for a worker — clamped to
+// [1s, 30s] and rounded up to whole seconds (Retry-After's resolution).
+// A constant hint would synchronize every shed client's retry into the
+// same instant; deriving it from the drain rate spreads fleet retries
+// (and a router's failover traffic) across the window the queue
+// actually needs to open a slot.
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	p50 := m.hist.Quantile(0.5)
+	m.mu.Unlock()
+	d := time.Duration(p50 * float64(time.Millisecond))
+	if d < minRetryAfter {
+		return minRetryAfter
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	// Round up to whole seconds so the HTTP header never under-promises.
+	return (d + time.Second - 1) / time.Second * time.Second
+}
 
 // janitor drops finished jobs older than the TTL.
 func (m *Manager) janitor() {

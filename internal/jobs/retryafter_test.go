@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantile pins the bucket-upper-bound estimator: empty
+// histograms answer 0, observations land in the bucket whose bound
+// covers them, and the overflow bucket reports twice the last finite
+// bound.
+func TestHistogramQuantile(t *testing.T) {
+	h := Histogram{BucketMS: latencyBucketsMS, Counts: make([]int64, len(latencyBucketsMS)+1)}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	// Ten fast observations and two slow ones: the median lives in the
+	// 5ms bucket, the p99 in the 2500ms bucket.
+	for i := 0; i < 10; i++ {
+		h.observe(3 * time.Millisecond)
+	}
+	h.observe(2 * time.Second)
+	h.observe(2 * time.Second)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5 (the covering bucket's bound)", got)
+	}
+	if got := h.Quantile(0.99); got != 2500 {
+		t.Errorf("p99 = %v, want 2500", got)
+	}
+	// Overflow-only data reports the larger of the doubled last bound
+	// and the observed mean — here the mean (10s ≫ 2×2500ms).
+	h2 := Histogram{BucketMS: latencyBucketsMS, Counts: make([]int64, len(latencyBucketsMS)+1)}
+	h2.observe(10 * time.Second)
+	if got := h2.Quantile(0.5); got != 10000 {
+		t.Errorf("overflow Quantile = %v, want the 10000ms mean", got)
+	}
+	// Overflow observations just past the last bound keep the doubled
+	// bound (the mean would under-estimate the tail).
+	h3 := Histogram{BucketMS: latencyBucketsMS, Counts: make([]int64, len(latencyBucketsMS)+1)}
+	h3.observe(3 * time.Second)
+	if got := h3.Quantile(0.5); got != 2*latencyBucketsMS[len(latencyBucketsMS)-1] {
+		t.Errorf("overflow Quantile = %v, want %v", got, 2*latencyBucketsMS[len(latencyBucketsMS)-1])
+	}
+}
+
+// TestRetryAfterClamped pins the shed hint's clamp: at least a second
+// with an empty (or fast) histogram, capped at 30s however slow the
+// queue, whole seconds in between.
+func TestRetryAfterClamped(t *testing.T) {
+	m := NewManager(Config{Run: func(ctx context.Context, snap Snapshot, progress func(int, int)) (json.RawMessage, error) {
+		return nil, nil
+	}})
+	defer m.Close()
+	if got := m.RetryAfter(); got != time.Second {
+		t.Errorf("empty-histogram RetryAfter = %v, want 1s", got)
+	}
+	m.mu.Lock()
+	m.hist.observe(90 * time.Second) // queue drains glacially
+	m.mu.Unlock()
+	if got := m.RetryAfter(); got != 30*time.Second {
+		t.Errorf("slow-queue RetryAfter = %v, want the 30s cap", got)
+	}
+	m2 := NewManager(Config{Run: func(ctx context.Context, snap Snapshot, progress func(int, int)) (json.RawMessage, error) {
+		return nil, nil
+	}})
+	defer m2.Close()
+	m2.mu.Lock()
+	for i := 0; i < 10; i++ {
+		m2.hist.observe(2 * time.Second) // p50 -> 2500ms bucket
+	}
+	m2.mu.Unlock()
+	if got := m2.RetryAfter(); got != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s (2500ms rounded up)", got)
+	}
+}

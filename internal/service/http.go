@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -108,11 +109,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError renders err as the unified JSON error envelope
 // {"error": {"code", "message", ...}}, classified by toAPIError. Shed
 // submissions additionally carry Retry-After, the contractual half of
-// the 429.
-func writeError(w http.ResponseWriter, err error) {
+// the 429 — derived from the live queue-latency histogram (the p50
+// drain estimate, clamped) so a fleet of shed clients, and a router's
+// failover retries, spread over the window the queue needs to open a
+// slot instead of stampeding back in lockstep.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	api := toAPIError(err)
 	if api.Code == CodeQueueFull {
-		w.Header().Set("Retry-After", "1")
+		secs := int(s.jobs.RetryAfter() / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, api.Status, errorEnvelope{api})
 }
@@ -131,7 +136,7 @@ func decode(r *http.Request, v any) error {
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req CompileRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	// ?verify=1 is the query-parameter spelling of the body's "verify"
@@ -141,12 +146,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		req.Verify = true
 	default:
-		writeError(w, &RequestError{fmt.Errorf("verify = %q; want 0/1/true/false", v)})
+		s.writeError(w, &RequestError{fmt.Errorf("verify = %q; want 0/1/true/false", v)})
 		return
 	}
 	resp, err := s.Compile(r.Context(), &req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -155,12 +160,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	resp, err := s.Batch(r.Context(), &req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -173,22 +178,28 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		stable = true
 	default:
-		writeError(w, &RequestError{fmt.Errorf("stable = %q; want 0/1/true/false", v)})
+		s.writeError(w, &RequestError{fmt.Errorf("stable = %q; want 0/1/true/false", v)})
 		return
 	}
 	doc, err := s.Experiment(r.Context(), r.PathValue("kind"), r.PathValue("id"), stable)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	}
+	if s.instance != "" {
+		// The fleet router's health checker confirms it probed the
+		// backend it thinks it probed.
+		doc["instance"] = s.instance
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

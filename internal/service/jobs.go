@@ -200,12 +200,12 @@ func (s *Server) runJob(ctx context.Context, snap jobs.Snapshot, progress func(d
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	snap, err := s.SubmitJob(&req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
@@ -221,13 +221,13 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
 		f.State = st
 	default:
-		writeError(w, &RequestError{fmt.Errorf("state = %q; want queued, running, done, failed, or canceled", st)})
+		s.writeError(w, &RequestError{fmt.Errorf("state = %q; want queued, running, done, failed, or canceled", st)})
 		return
 	}
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, &RequestError{fmt.Errorf("limit = %q; want a positive integer", v)})
+			s.writeError(w, &RequestError{fmt.Errorf("limit = %q; want a positive integer", v)})
 			return
 		}
 		f.Limit = n
@@ -240,7 +240,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -254,7 +254,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	switch snap.State {
@@ -296,7 +296,7 @@ func statusForCode(code string) int {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.jobs.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -311,13 +311,13 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	history, live, detach, err := s.jobs.Subscribe(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	defer detach()
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, fmt.Errorf("response writer cannot stream"))
+		s.writeError(w, fmt.Errorf("response writer cannot stream"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

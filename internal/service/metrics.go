@@ -292,9 +292,38 @@ type SpeculationMetrics struct {
 	SavedMS float64 `json:"saved_ms"`
 }
 
+// BackendBlock is the scrape-friendly digest of one backend for the
+// fleet tier: the instance identity plus the handful of counters a
+// router aggregates across N daemons — flattened here so the router
+// (and any fleet dashboard) reads one stable shallow block instead of
+// chasing fields through the full snapshot.
+type BackendBlock struct {
+	// Instance is the backend's fleet identity (Config.Instance).
+	Instance string `json:"instance"`
+	// UptimeS is seconds since the server was constructed.
+	UptimeS float64 `json:"uptime_s"`
+	// CacheHits/CacheMisses are the in-memory compile cache's counters;
+	// a fleet router proves routing locality by watching hits rise on
+	// exactly the backend a key hashes to.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// StoreHits counts disk-tier hits (0 without a -store-dir).
+	StoreHits int64 `json:"store_hits"`
+	// Compiles counts outcomes actually compiled.
+	Compiles int64 `json:"compiles"`
+	// QueueDepth/QueueCapacity describe the async admission queue now;
+	// Shed counts submissions rejected with 429.
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Shed          int64 `json:"shed"`
+}
+
 // MetricsSnapshot is the /metrics payload: cache, compile, dedup, memory,
 // and per-endpoint latency accounting.
 type MetricsSnapshot struct {
+	// Backend is the fleet-facing digest block, present only when the
+	// server was given an instance identity (-backend-id).
+	Backend *BackendBlock `json:"backend,omitempty"`
 	// UptimeS is seconds since the server was constructed.
 	UptimeS float64 `json:"uptime_s"`
 	// Workers is the compile-concurrency bound.
@@ -373,6 +402,22 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.store != nil {
 		st := s.store.Stats()
 		snap.Store = &st
+	}
+	if s.instance != "" {
+		b := &BackendBlock{
+			Instance:      s.instance,
+			UptimeS:       snap.UptimeS,
+			CacheHits:     int64(snap.Cache.Hits),
+			CacheMisses:   int64(snap.Cache.Misses),
+			Compiles:      snap.Compiles,
+			QueueDepth:    snap.Jobs.Depth,
+			QueueCapacity: snap.Jobs.Capacity,
+			Shed:          snap.Jobs.Shed,
+		}
+		if snap.Store != nil {
+			b.StoreHits = snap.Store.Hits
+		}
+		snap.Backend = b
 	}
 	return snap
 }

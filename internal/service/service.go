@@ -47,6 +47,12 @@ const MaxAODs = 8
 
 // Config sizes a Server.
 type Config struct {
+	// Instance is this server's stable identity within a fleet — the
+	// name a powermove-router knows the backend by. It prefixes job ids
+	// ("<instance>.jNN-...") so routers recover job ownership from the
+	// id alone, and it labels the /metrics backend block. Must not
+	// contain "." (the id separator); empty means a standalone daemon.
+	Instance string
 	// Workers bounds concurrent compile executions across all requests;
 	// values < 1 select GOMAXPROCS.
 	Workers int
@@ -84,15 +90,16 @@ type Config struct {
 // singleflight group, and a compile semaphore. Construct with New; use
 // Handler for the HTTP front end or Compile/Batch/Experiments directly.
 type Server struct {
-	workers int
-	cache   *pipeline.Cache
-	flight  flightGroup[*CompileResponse]
-	sem     chan struct{}
-	start   time.Time
-	jobs    *jobs.Manager
-	store   *store.Store
-	snaps   *pipeline.SnapshotStore
-	spec    *speculator
+	instance string
+	workers  int
+	cache    *pipeline.Cache
+	flight   flightGroup[*CompileResponse]
+	sem      chan struct{}
+	start    time.Time
+	jobs     *jobs.Manager
+	store    *store.Store
+	snaps    *pipeline.SnapshotStore
+	spec     *speculator
 
 	// compileOne executes one validated job; tests substitute a
 	// controlled implementation to observe dedup behavior.
@@ -112,11 +119,12 @@ func New(cfg Config) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		workers: workers,
-		cache:   pipeline.NewCacheBounded(cfg.CacheSize),
-		sem:     make(chan struct{}, workers),
-		start:   time.Now(),
-		store:   cfg.Store,
+		instance: cfg.Instance,
+		workers:  workers,
+		cache:    pipeline.NewCacheBounded(cfg.CacheSize),
+		sem:      make(chan struct{}, workers),
+		start:    time.Now(),
+		store:    cfg.Store,
 	}
 	s.compileOne = s.pipelineCompile
 	if cfg.Store != nil {
@@ -132,11 +140,12 @@ func New(cfg Config) *Server {
 	// Job workers match the compile-concurrency bound: more would only
 	// stack up on the compile semaphore.
 	jc := jobs.Config{
-		Depth:   cfg.QueueDepth,
-		Workers: workers,
-		TTL:     cfg.JobTTL,
-		Run:     s.runJob,
-		CodeOf:  errorCode,
+		Depth:    cfg.QueueDepth,
+		Workers:  workers,
+		TTL:      cfg.JobTTL,
+		Run:      s.runJob,
+		CodeOf:   errorCode,
+		IDPrefix: cfg.Instance,
 	}
 	if s.spec != nil {
 		jc.Speculate = s.spec.speculate
@@ -678,6 +687,40 @@ func (s *Server) experiment(ctx context.Context, kind, id string, stable bool, p
 		doc.Elapsed = time.Since(start).Round(time.Millisecond).String()
 	}
 	return doc, nil
+}
+
+// RoutingKey returns the request's canonical cache identity — the same
+// pipeline.Key serialization the compile cache, the singleflight group,
+// the async dedup key, and the disk store address by. It is the routing
+// key of the fleet tier: a consistent-hash router maps it onto one
+// backend so identical compiles always land on the daemon whose LRU and
+// snapshot caches already hold them.
+func (req *CompileRequest) RoutingKey() (string, error) {
+	plan, err := req.validate()
+	if err != nil {
+		return "", err
+	}
+	return plan.canon, nil
+}
+
+// RoutingKey returns the job submission's routing key: compile and
+// verify jobs route by their compile key (cache locality), experiment
+// jobs by their endpoint identity. Batch jobs return "" — they span
+// many keys, and the router hashes the raw body instead so identical
+// batches still co-locate.
+func (req *JobRequest) RoutingKey() (string, error) {
+	switch {
+	case req.Compile != nil:
+		return req.Compile.RoutingKey()
+	case req.Verify != nil:
+		forced := *req.Verify
+		forced.Verify = true
+		return forced.RoutingKey()
+	case req.Experiment != nil:
+		return fmt.Sprintf("exp:%s/%s?stable=%v", req.Experiment.Kind, req.Experiment.ID, req.Experiment.Stable), nil
+	default:
+		return "", nil
+	}
 }
 
 // RequestError marks a client-side problem (HTTP 400, not 500).

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Two Store handles on one directory stand in for two powermoved
+// processes sharing a -store-dir — the fleet deployment. These tests pin
+// the cross-process contracts: a peer's GC reads as a clean miss, a
+// peer's writes are adopted into the local index, and the byte budget
+// bounds the directory, not each process's private write history.
+
+// peerPayload pads entries to a stable size so byte-budget arithmetic in
+// the tests is easy to reason about.
+func peerPayload(v int) []byte {
+	return []byte(fmt.Sprintf(`{"v":%d,"pad":%q}`, v, strings.Repeat("x", 200)))
+}
+
+// indexConsistent recomputes a store's byte accounting from its index
+// and fails the test if the cached total diverged.
+func indexConsistent(t *testing.T, s *Store) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for _, st := range s.index {
+		sum += st.size
+	}
+	if sum != s.bytes {
+		t.Errorf("index sums to %d bytes but store accounts %d", sum, s.bytes)
+	}
+	if s.bytes < 0 {
+		t.Errorf("negative byte accounting: %d", s.bytes)
+	}
+}
+
+// TestPeerEvictionMiss: an entry deleted out from under this process by
+// a peer's GC is a clean miss — counted, stale index entry dropped,
+// bytes decremented — never an error or a corrupt count.
+func TestPeerEvictionMiss(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("key-a", peerPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats(); got.Files != 1 {
+		t.Fatalf("peer store did not index the existing entry: %+v", got)
+	}
+
+	// The "peer GC": remove the file behind s2's back.
+	if err := os.Remove(filepath.Join(dir, fileFor("key-a"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("key-a"); ok {
+		t.Error("peer-evicted entry served as a hit")
+	}
+	st := s2.Stats()
+	if st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("peer eviction miscounted: %+v, want 1 clean miss", st)
+	}
+	if st.Files != 0 || st.Bytes != 0 {
+		t.Errorf("stale index entry survived the miss: %+v", st)
+	}
+	indexConsistent(t, s2)
+}
+
+// TestPeerWriteAdoption: an entry a peer wrote after this process's Open
+// serves as a hit and is adopted into the local index, so GC accounting
+// sees it.
+func TestPeerWriteAdoption(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("key-a", peerPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := s2.Get("key-a")
+	if !ok || string(got) != string(peerPayload(1)) {
+		t.Fatalf("peer-written entry not served: %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.Files != 1 || st.Bytes == 0 {
+		t.Errorf("peer-written entry not adopted into the index: %+v", st)
+	}
+	indexConsistent(t, s2)
+}
+
+// TestPeerPutAfterPeerGC: Put must not trust a stale index entry — if a
+// peer GC'd the file, the second Put rewrites it.
+func TestPeerPutAfterPeerGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key-a", peerPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, fileFor("key-a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key-a", peerPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("key-a"); !ok {
+		t.Error("entry missing after re-Put over a peer-GC'd file")
+	}
+	indexConsistent(t, s)
+}
+
+// TestPeerBudgetGlobal: two processes writing through one directory must
+// together respect the byte budget — the GC counts peer writes, so the
+// directory never settles above MaxBytes no matter which handle wrote
+// what.
+func TestPeerBudgetGlobal(t *testing.T) {
+	dir := t.TempDir()
+	entry := peerPayload(0)
+	// Envelope overhead is small; budget for ~4 entries.
+	probe, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put("sizing", entry); err != nil {
+		t.Fatal(err)
+	}
+	entryBytes := probe.Stats().Bytes
+	budget := 4*entryBytes + entryBytes/2
+
+	s1, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave writes across the handles: 10 entries against a
+	// 4.5-entry budget. Each handle alone wrote well under budget.
+	for i := 0; i < 10; i++ {
+		h := s1
+		if i%2 == 1 {
+			h = s2
+		}
+		if err := h.Put(fmt.Sprintf("key-%d", i), peerPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var onDisk int64
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		info, err := f.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += info.Size()
+	}
+	if onDisk > budget {
+		t.Errorf("directory holds %d bytes, budget is %d: peer writes escaped the GC", onDisk, budget)
+	}
+	indexConsistent(t, s1)
+	indexConsistent(t, s2)
+}
+
+// TestTwoHandlesConcurrent hammers one directory through two handles
+// with concurrent Put/Get/peer-unlink traffic under a tight budget; run
+// with -race. The invariants: no errors, and each handle's byte
+// accounting matches its index when the dust settles.
+func TestTwoHandlesConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	budget := int64(1 << 14)
+	s1, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []*Store{s1, s2}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := stores[g%2]
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("key-%d", (g*31+i)%25)
+				switch i % 4 {
+				case 0, 1:
+					if err := s.Put(key, peerPayload(i)); err != nil {
+						t.Errorf("Put(%s): %v", key, err)
+						return
+					}
+				case 2:
+					s.Get(key)
+				case 3:
+					// A hostile peer: unlink directly, as a foreign
+					// process's GC would.
+					os.Remove(filepath.Join(dir, fileFor(key)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Force a final reconcile on both handles, then check accounting.
+	for _, s := range stores {
+		s.mu.Lock()
+		s.rescanLocked()
+		s.mu.Unlock()
+		indexConsistent(t, s)
+		if st := s.Stats(); st.Bytes > budget {
+			t.Errorf("settled store holds %d bytes over budget %d", st.Bytes, budget)
+		}
+	}
+}

@@ -22,6 +22,12 @@
 //   - Size is bounded: when the configured byte budget is exceeded, the
 //     least recently used entries (by file mtime, refreshed on every
 //     hit) are garbage-collected oldest-first until the store fits.
+//   - Peers are first-class: N processes may point at one directory.
+//     An entry a peer garbage-collected reads as a clean miss (the
+//     stale index entry is dropped, never an error), an entry a peer
+//     wrote is adopted into this process's index when read, and the GC
+//     re-scans the directory before evicting so the byte budget bounds
+//     what is actually on disk, not just what this process wrote.
 package store
 
 import (
@@ -147,8 +153,15 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	path := filepath.Join(s.dir, name)
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		// Never written — or deleted out from under us by a peer
+		// process's GC. Either way it's a clean miss; drop any stale
+		// index entry so the byte accounting tracks the directory.
 		s.mu.Lock()
 		s.stats.Misses++
+		if st, ok := s.index[name]; ok {
+			s.bytes -= st.size
+			delete(s.index, name)
+		}
 		s.mu.Unlock()
 		return nil, false
 	}
@@ -158,12 +171,24 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	now := time.Now()
-	os.Chtimes(path, now, now) // best-effort LRU touch; GC orders by mtime
+	// Best-effort LRU touch; GC orders by mtime. The in-memory mtime
+	// only advances when the touch actually landed — if the syscall
+	// failed (say, a peer unlinked the file between the read and here),
+	// recording `now` would protect a doomed entry from GC.
+	touched := os.Chtimes(path, now, now) == nil
 	s.mu.Lock()
 	s.stats.Hits++
 	if st, ok := s.index[name]; ok {
-		st.mtime = now
-		s.index[name] = st
+		if touched {
+			st.mtime = now
+			s.index[name] = st
+		}
+	} else if touched {
+		// A peer process wrote this entry after we opened the store:
+		// adopt it so GC accounting sees the directory's real size.
+		// (touched proves the file still exists under this name.)
+		s.index[name] = fileState{size: int64(len(raw)), mtime: now}
+		s.bytes += int64(len(raw))
 	}
 	s.mu.Unlock()
 	return env.Payload, true
@@ -193,13 +218,21 @@ func (s *Store) Put(key string, payload []byte) error {
 	_, exists := s.index[name]
 	s.mu.Unlock()
 	if exists {
-		return nil
-	}
-	if _, err := os.Stat(path); err == nil {
-		// Another process wrote it; adopt it into the index below.
-		if info, err := os.Stat(path); err == nil {
-			s.adopt(name, info.Size(), info.ModTime())
+		if _, err := os.Stat(path); err == nil {
+			return nil
 		}
+		// The index says present but the file is gone: a peer's GC
+		// removed it. Drop the stale entry and write fresh below.
+		s.mu.Lock()
+		if st, ok := s.index[name]; ok {
+			s.bytes -= st.size
+			delete(s.index, name)
+		}
+		s.mu.Unlock()
+	}
+	if info, err := os.Stat(path); err == nil {
+		// Another process wrote it; adopt it into the index.
+		s.adopt(name, info.Size(), info.ModTime())
 		return nil
 	}
 	env := envelope{Key: key, Sum: payloadSum(payload), Payload: payload}
@@ -226,6 +259,11 @@ func (s *Store) Put(key string, payload []byte) error {
 	}
 	s.mu.Lock()
 	s.stats.Puts++
+	// A concurrent rescan (or adopting Get) may have indexed the entry
+	// between the rename and here; replace its accounting, don't stack.
+	if st, ok := s.index[name]; ok {
+		s.bytes -= st.size
+	}
 	s.index[name] = fileState{size: int64(len(raw)), mtime: time.Now()}
 	s.bytes += int64(len(raw))
 	s.gcLocked()
@@ -245,12 +283,61 @@ func (s *Store) adopt(name string, size int64, mtime time.Time) {
 	s.gcLocked()
 }
 
+// rescanLocked reconciles the index with the directory: entries written
+// by peer processes are adopted and entries they removed are dropped, so
+// GC decisions are made against the directory's true occupancy rather
+// than this process's write history. In-memory mtimes are kept when
+// fresher (they carry LRU touches). Called with s.mu held.
+func (s *Store) rescanLocked() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	seen := make(map[string]struct{}, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // unlinked mid-scan by a peer
+		}
+		seen[name] = struct{}{}
+		if st, ok := s.index[name]; ok {
+			if st.size != info.Size() {
+				s.bytes += info.Size() - st.size
+				st.size = info.Size()
+			}
+			if info.ModTime().After(st.mtime) {
+				st.mtime = info.ModTime()
+			}
+			s.index[name] = st
+			continue
+		}
+		s.index[name] = fileState{size: info.Size(), mtime: info.ModTime()}
+		s.bytes += info.Size()
+	}
+	for name, st := range s.index {
+		if _, ok := seen[name]; !ok {
+			s.bytes -= st.size
+			delete(s.index, name)
+		}
+	}
+}
+
 // gcLocked evicts least-recently-used entries (oldest mtime first) until
-// the store fits its byte budget. Called with s.mu held. Unlink races
-// with other processes are tolerated: the accounting drops the entry
-// either way.
+// the store fits its byte budget. The directory is re-scanned first so
+// peer processes' writes count against the budget — without that, N
+// daemons sharing one directory would each stay under budget while the
+// directory grows N-fold. Called with s.mu held. Unlink races with other
+// processes are tolerated: the accounting drops the entry either way.
 func (s *Store) gcLocked() {
-	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.rescanLocked()
+	if s.bytes <= s.maxBytes {
 		return
 	}
 	type aged struct {

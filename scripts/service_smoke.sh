@@ -15,11 +15,13 @@ STORE="$TMP/store"
 
 go build -o "$TMP/powermoved" ./cmd/powermoved
 go build -o "$TMP/powermove" ./cmd/powermove
+go build -o "$TMP/powermove-router" ./cmd/powermove-router
 
 "$TMP/powermoved" -addr "$ADDR" -store-dir "$STORE" &
 DAEMON=$!
 DAEMON2=""
-trap 'kill "$DAEMON" "$DAEMON2" 2>/dev/null || true' EXIT
+ROUTER=""
+trap 'kill "$DAEMON" "$DAEMON2" "$ROUTER" 2>/dev/null || true' EXIT
 
 wait_up() {
   local addr=$1
@@ -297,5 +299,84 @@ print("service_smoke: speculated variant served from cache with the hit credited
 PYEOF
 kill "$DAEMON2" 2>/dev/null || true
 DAEMON2=""
+
+# --- Fleet: consistent-hash routing + shared-store failover --------
+# Two daemons with fleet identities share one -store-dir behind the
+# router. A repeated compile must route to the same backend every time
+# (cache hits rising on exactly one daemon); killing that backend must
+# lose zero requests — the retry fails over to the replica, which
+# serves the result from the shared disk store without recompiling.
+kill "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+RADDR=127.0.0.1:8079
+"$TMP/powermoved" -addr "$ADDR" -backend-id b1 -store-dir "$STORE" &
+DAEMON=$!
+"$TMP/powermoved" -addr "$ADDR2" -backend-id b2 -store-dir "$STORE" &
+DAEMON2=$!
+wait_up "$ADDR"
+wait_up "$ADDR2"
+"$TMP/powermove-router" -addr "$RADDR" -health-interval 300ms \
+  -backend "b1=http://$ADDR" -backend "b2=http://$ADDR2" &
+ROUTER=$!
+wait_up "$RADDR"
+
+FREQ='{"workload":{"family":"QFT","qubits":19},"scheme":"with-storage","aods":1,"stable":true}'
+OWNER=""
+for i in $(seq 1 5); do
+  curl -fsS -D "$TMP/fleet-headers.txt" -X POST "http://$RADDR/v1/compile" \
+    -H 'Content-Type: application/json' -d "$FREQ" > "$TMP/fleet-$i.json"
+  GOT=$(tr -d '\r' < "$TMP/fleet-headers.txt" | awk 'tolower($1)=="x-powermove-backend:"{print $2}')
+  if [ -z "$OWNER" ]; then OWNER=$GOT; fi
+  if [ "$GOT" != "$OWNER" ]; then
+    echo "service_smoke: request $i routed to $GOT, earlier ones to $OWNER" >&2
+    exit 1
+  fi
+done
+grep -q '"cached": true' "$TMP/fleet-5.json"
+curl -fsS "http://$RADDR/metrics" > "$TMP/fleet-metrics.json"
+python3 - "$TMP/fleet-metrics.json" "$OWNER" <<'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+owner = sys.argv[2]
+pb = m["per_backend"]
+blk = pb[owner]["backend"]
+if blk is None or blk["cache_hits"] < 4:
+    sys.exit(f"owner {owner} shows {blk and blk['cache_hits']} cache hits, want >= 4")
+for name, row in pb.items():
+    if name != owner and (row["backend"] or {}).get("compiles", 1) != 0:
+        sys.exit(f"non-owner {name} compiled: {row['backend']}")
+if m["keyed"] < 5 or m["failed"] != 0:
+    sys.exit(f"router ledger wrong: keyed={m['keyed']} failed={m['failed']}")
+print(f"service_smoke: 5/5 requests routed to {owner}; its cache alone served the repeats")
+PYEOF
+
+if [ "$OWNER" = b1 ]; then
+  kill "$DAEMON" 2>/dev/null || true; wait "$DAEMON" 2>/dev/null || true; DAEMON=""
+else
+  kill "$DAEMON2" 2>/dev/null || true; wait "$DAEMON2" 2>/dev/null || true; DAEMON2=""
+fi
+curl -fsS -D "$TMP/fleet-failover-headers.txt" -X POST "http://$RADDR/v1/compile" \
+  -H 'Content-Type: application/json' -d "$FREQ" > "$TMP/fleet-failover.json"
+SURVIVOR=$(tr -d '\r' < "$TMP/fleet-failover-headers.txt" | awk 'tolower($1)=="x-powermove-backend:"{print $2}')
+if [ "$SURVIVOR" = "$OWNER" ] || [ -z "$SURVIVOR" ]; then
+  echo "service_smoke: failover request answered by $SURVIVOR, want the replica of $OWNER" >&2
+  exit 1
+fi
+grep -q '"cached": true' "$TMP/fleet-failover.json"
+curl -fsS "http://$RADDR/metrics" > "$TMP/fleet-metrics2.json"
+python3 - "$TMP/fleet-metrics2.json" "$OWNER" <<'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+owner = sys.argv[2]
+if m["failed"] != 0:
+    sys.exit(f"router lost requests: failed={m['failed']}")
+# The dead primary surfaces either as a request-time failover or as an
+# active-probe mark-down, whichever fired first.
+if m["failovers"] < 1 and m["per_backend"][owner]["healthy"]:
+    sys.exit(f"dead backend {owner} neither failed over nor marked down: {m}")
+print("service_smoke: killed backend lost zero requests; replica served from the shared store")
+PYEOF
+kill "$ROUTER" 2>/dev/null || true
+ROUTER=""
 
 echo "service_smoke: PASS"
